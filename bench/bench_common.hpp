@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace lyra::bench {
+
+/// Node counts of the paper's evaluation (§VI-C).
+inline std::vector<std::size_t> node_counts() {
+  // LYRA_BENCH_QUICK=1 caps the sweep at 31 nodes (CI-friendly); the full
+  // sweep reproduces the figures up to n = 100.
+  if (const char* quick = std::getenv("LYRA_BENCH_QUICK");
+      quick != nullptr && quick[0] == '1') {
+    return {5, 10, 16, 31};
+  }
+  return {5, 10, 16, 31, 61, 100};
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+  std::fflush(stdout);
+}
+
+inline void write_csv(const std::string& path, const std::string& content) {
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("[csv written to %s]\n", path.c_str());
+  }
+}
+
+}  // namespace lyra::bench

@@ -1,0 +1,137 @@
+// Censorship demo (§I, §V-E): leader-based designs let a live-but-Byzantine
+// leader silently omit a victim's transactions — the "blind order-fairness"
+// gap of commit-reveal systems like Fino, inherited by anything running on
+// HotStuff. Lyra has no leader to abuse: the victim's own instances reach
+// quorum without anyone's permission.
+
+#include <cstdio>
+
+#include "attacks/byzantine_lyra.hpp"
+#include "attacks/censor.hpp"
+#include "harness/lyra_cluster.hpp"
+#include "harness/pompe_cluster.hpp"
+
+using namespace lyra;
+
+namespace {
+constexpr NodeId kVictim = 2;
+}  // namespace
+
+int main() {
+
+  // --- Pompē under a censoring HotStuff leader ---
+  {
+    harness::PompeClusterOptions opts;
+    opts.config.n = 4;
+    opts.config.f = 1;
+    opts.config.delta = ms(3);
+    opts.config.batch_size = 8;
+    opts.config.batch_timeout = ms(4);
+    opts.config.initial_leader = 0;
+    opts.topology = net::single_region(4);
+    opts.seed = 5;
+    opts.node_factory = [](sim::Simulation* sim, net::Network* net,
+                           NodeId id, const pompe::PompeConfig& cfg,
+                           const crypto::KeyRegistry* reg)
+        -> std::unique_ptr<pompe::PompeNode> {
+      if (id == 0) {
+        return std::make_unique<attacks::CensoringPompeNode>(sim, net, id,
+                                                             cfg, reg,
+                                                             kVictim);
+      }
+      return std::make_unique<pompe::PompeNode>(sim, net, id, cfg, reg);
+    };
+    harness::PompeCluster cluster(opts);
+    cluster.start();
+    cluster.run_for(ms(10));
+    // Continuous traffic keeps the leader looking live, so the pacemaker
+    // never rotates it out.
+    for (int i = 0; i < 150; ++i) {
+      cluster.node(1).submit_local(to_bytes("a" + std::to_string(i)));
+      cluster.node(3).submit_local(to_bytes("b" + std::to_string(i)));
+      if (i % 10 == 0) {
+        cluster.node(kVictim).submit_local(to_bytes("v" + std::to_string(i)));
+      }
+      cluster.run_for(ms(5));
+    }
+
+    std::size_t victim_commits = 0;
+    for (const auto& e : cluster.node(1).ledger()) {
+      if (e.proposer == kVictim) ++victim_commits;
+    }
+    const auto* censor =
+        dynamic_cast<attacks::CensoringPompeNode*>(&cluster.node(0));
+    std::printf("Pompe (leader = Byzantine censor):\n");
+    std::printf("  batches committed:        %llu\n",
+                static_cast<unsigned long long>(
+                    cluster.node(1).stats().committed_batches));
+    std::printf("  victim batches committed: %zu\n", victim_commits);
+    std::printf("  batches censored:         %llu\n",
+                static_cast<unsigned long long>(censor->censored()));
+    std::printf("  views changed:            %llu  (leader stayed in "
+                "charge)\n\n",
+                static_cast<unsigned long long>(
+                    cluster.node(1).hotstuff().view()));
+  }
+
+  // --- Lyra with an equivalent Byzantine node ---
+  {
+    harness::LyraClusterOptions opts;
+    opts.config.n = 4;
+    opts.config.f = 1;
+    opts.config.delta = ms(3);
+    opts.config.lambda = ms(1);
+    opts.config.batch_size = 8;
+    opts.config.batch_timeout = ms(4);
+    opts.config.heartbeat_period = ms(2);
+    opts.config.commit_poll = ms(1);
+    opts.config.probe_period = ms(3);
+    opts.topology = net::single_region(4);
+    opts.seed = 7;
+    // The Byzantine node refuses to take part in the victim's instances —
+    // the closest analogue of censorship in a leaderless protocol.
+    opts.node_factory = [](sim::Simulation* sim, net::Network* net,
+                           NodeId id, const core::Config& cfg,
+                           const crypto::KeyRegistry* reg)
+        -> std::unique_ptr<core::LyraNode> {
+      if (id == 0) {
+        class VictimIgnorer final : public core::LyraNode {
+         public:
+          using core::LyraNode::LyraNode;
+
+         protected:
+          bool participate(const InstanceId& inst) const override {
+            return inst.proposer != kVictim;
+          }
+        };
+        return std::make_unique<VictimIgnorer>(sim, net, id, cfg, reg);
+      }
+      return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+    };
+    harness::LyraCluster cluster(opts);
+    cluster.start();
+    cluster.run_for(ms(60));
+    for (int i = 0; i < 150; ++i) {
+      cluster.node(1).submit_local(to_bytes("a" + std::to_string(i)));
+      cluster.node(3).submit_local(to_bytes("b" + std::to_string(i)));
+      if (i % 10 == 0) {
+        cluster.node(kVictim).submit_local(to_bytes("v" + std::to_string(i)));
+      }
+      cluster.run_for(ms(5));
+    }
+    cluster.run_for(ms(200));
+
+    std::size_t victim_commits = 0;
+    for (const auto& e : cluster.node(1).ledger()) {
+      if (e.inst.proposer == kVictim) ++victim_commits;
+    }
+    std::printf("Lyra (one Byzantine node boycotts the victim):\n");
+    std::printf("  batches committed:        %llu\n",
+                static_cast<unsigned long long>(
+                    cluster.node(1).stats().committed_batches));
+    std::printf("  victim batches committed: %zu  (leaderless: a 2f+1 "
+                "quorum of correct nodes suffices)\n",
+                victim_commits);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "app/amm.hpp"
+
+#include "support/assert.hpp"
+
+namespace lyra::app {
+
+Amm::Amm(double reserve_base, double reserve_quote, double fee_bps)
+    : reserve_base_(reserve_base),
+      reserve_quote_(reserve_quote),
+      fee_(fee_bps / 10'000.0) {
+  LYRA_ASSERT(reserve_base > 0 && reserve_quote > 0,
+              "reserves must be positive");
+}
+
+double Amm::buy_base(double quote_in) {
+  LYRA_ASSERT(quote_in >= 0, "negative input");
+  const double effective = quote_in * (1.0 - fee_);
+  const double k = reserve_base_ * reserve_quote_;
+  const double new_quote = reserve_quote_ + effective;
+  const double new_base = k / new_quote;
+  const double out = reserve_base_ - new_base;
+  reserve_base_ = new_base;
+  reserve_quote_ = reserve_quote_ + quote_in;  // fee stays in the pool
+  return out;
+}
+
+double Amm::sell_base(double base_in) {
+  LYRA_ASSERT(base_in >= 0, "negative input");
+  const double effective = base_in * (1.0 - fee_);
+  const double k = reserve_base_ * reserve_quote_;
+  const double new_base = reserve_base_ + effective;
+  const double new_quote = k / new_base;
+  const double out = reserve_quote_ - new_quote;
+  reserve_quote_ = new_quote;
+  reserve_base_ = reserve_base_ + base_in;
+  return out;
+}
+
+SandwichResult execute_sandwich(Amm& amm, double victim_quote,
+                                double attack_quote,
+                                bool attacker_goes_first) {
+  SandwichResult r;
+  if (attacker_goes_first) {
+    const double attacker_base = amm.buy_base(attack_quote);
+    r.victim_base_received = amm.buy_base(victim_quote);
+    r.attacker_profit = amm.sell_base(attacker_base) - attack_quote;
+  } else {
+    r.victim_base_received = amm.buy_base(victim_quote);
+    const double attacker_base = amm.buy_base(attack_quote);
+    r.attacker_profit = amm.sell_base(attacker_base) - attack_quote;
+  }
+  return r;
+}
+
+}  // namespace lyra::app

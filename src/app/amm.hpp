@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace lyra::app {
+
+/// Constant-product automated market maker (x * y = k) with a basis-point
+/// fee — the standard DEX model in which front-running and sandwiching
+/// extract value (Daian et al. [10]). The MEV example executes committed
+/// transaction streams against it and measures the attacker's profit.
+class Amm {
+ public:
+  Amm(double reserve_base, double reserve_quote, double fee_bps = 30.0);
+
+  /// Spends `quote_in` of the quote asset, returns the base received.
+  double buy_base(double quote_in);
+
+  /// Sells `base_in` of the base asset, returns the quote received.
+  double sell_base(double base_in);
+
+  /// Marginal price of the base asset in quote units.
+  double price() const { return reserve_quote_ / reserve_base_; }
+
+  double reserve_base() const { return reserve_base_; }
+  double reserve_quote() const { return reserve_quote_; }
+
+ private:
+  double reserve_base_;
+  double reserve_quote_;
+  double fee_;
+};
+
+/// Sandwich accounting against one victim trade: the attacker buys
+/// `attack_quote` before the victim's buy and sells the acquired base
+/// right after it. Returns the attacker's profit in quote units for this
+/// ordering; negative when the attacker's leg executed *after* the victim
+/// (i.e. the front-run failed).
+struct SandwichResult {
+  double attacker_profit = 0.0;
+  double victim_base_received = 0.0;
+};
+
+SandwichResult execute_sandwich(Amm& amm, double victim_quote,
+                                double attack_quote,
+                                bool attacker_goes_first);
+
+}  // namespace lyra::app

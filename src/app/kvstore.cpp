@@ -1,0 +1,29 @@
+#include "app/kvstore.hpp"
+
+namespace lyra::app {
+
+void KvStore::fold(std::string_view key, BytesView value) {
+  digest_ = crypto::Hasher()
+                .add(digest_)
+                .add_str(key)
+                .add(value)
+                .digest();
+}
+
+void KvStore::put(std::string_view key, BytesView value) {
+  map_[std::string(key)] = Bytes(value.begin(), value.end());
+  fold(key, value);
+}
+
+std::optional<Bytes> KvStore::get(std::string_view key) const {
+  const auto it = map_.find(std::string(key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::ingest_batch(BytesView payload) {
+  const std::string key = "batch/" + std::to_string(batches_++);
+  put(key, payload);
+}
+
+}  // namespace lyra::app

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/hash.hpp"
+#include "support/bytes.hpp"
+
+namespace lyra::app {
+
+/// The benchmark execution sink (§VI-A: "committed transactions are written
+/// in a key-value store"). Deterministic: the state digest evolves as a
+/// hash chain over applied operations, so two replicas that executed the
+/// same committed sequence hold the same digest — a cheap cross-replica
+/// safety check.
+class KvStore {
+ public:
+  void put(std::string_view key, BytesView value);
+  std::optional<Bytes> get(std::string_view key) const;
+  std::size_t size() const { return map_.size(); }
+
+  /// Applies one committed batch payload: the whole payload is stored
+  /// under a monotone slot key, mirroring the paper's benchmark sink.
+  void ingest_batch(BytesView payload);
+
+  std::uint64_t batches_ingested() const { return batches_; }
+
+  /// Hash chain over every mutation, in application order.
+  crypto::Digest state_digest() const { return digest_; }
+
+ private:
+  void fold(std::string_view key, BytesView value);
+
+  std::unordered_map<std::string, Bytes> map_;
+  crypto::Digest digest_{};
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace lyra::app

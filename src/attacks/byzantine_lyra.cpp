@@ -1,0 +1,51 @@
+#include "attacks/byzantine_lyra.hpp"
+
+namespace lyra::attacks {
+
+void SelectiveInitLyraNode::propose_selectively(BytesView payload) {
+  const InstanceId inst{id(), next_proposal_index_++};
+  auto msg = std::make_shared<core::InitMsg>();
+  msg->inst = inst;
+  const SeqNum s_ref = clock_now();
+  msg->predictions = build_predictions(s_ref);
+  msg->tx_count = 1;
+  msg->nominal_bytes = payload.size();
+  msg->cipher = vss_.encrypt(payload, sim().rng());
+  const crypto::Digest value_id =
+      compute_value_id(inst, msg->cipher.cipher_id(), msg->predictions);
+  msg->sig = signer_.sign(value_id_bytes(value_id));
+  fill_status(msg->status, /*broadcast=*/false);
+  for (NodeId to = 0; to < std::min<std::size_t>(recipients_, config_.n);
+       ++to) {
+    send(to, msg);
+  }
+}
+
+std::shared_ptr<core::InitMsg> EquivocatingLyraNode::make_init(
+    const InstanceId& inst, BytesView payload) {
+  auto msg = std::make_shared<core::InitMsg>();
+  msg->inst = inst;
+  const SeqNum s_ref = clock_now();
+  msg->predictions = build_predictions(s_ref);
+  msg->tx_count = 1;
+  msg->nominal_bytes = payload.size();
+  msg->cipher = vss_.encrypt(payload, sim().rng());
+  const crypto::Digest value_id =
+      compute_value_id(inst, msg->cipher.cipher_id(), msg->predictions);
+  msg->sig = signer_.sign(value_id_bytes(value_id));
+  fill_status(msg->status, /*broadcast=*/false);
+  return msg;
+}
+
+void EquivocatingLyraNode::equivocate(BytesView payload_even,
+                                      BytesView payload_odd) {
+  const InstanceId inst{id(), next_proposal_index_++};
+  const auto even = make_init(inst, payload_even);
+  const auto odd = make_init(inst, payload_odd);
+  for (NodeId to = 0; to < config_.n; ++to) {
+    send(to, to % 2 == 0 ? sim::PayloadPtr(even) : sim::PayloadPtr(odd));
+  }
+  ++equivocations_;
+}
+
+}  // namespace lyra::attacks

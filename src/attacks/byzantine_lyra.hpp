@@ -1,0 +1,115 @@
+#pragma once
+
+#include "lyra/lyra_node.hpp"
+
+namespace lyra::attacks {
+
+/// Crash-faulty process: attaches to the network but never reacts. The
+/// strongest "omission" adversary for liveness tests (f silent nodes).
+class SilentLyraNode final : public core::LyraNode {
+ public:
+  using core::LyraNode::LyraNode;
+
+  void on_start() override {}
+
+ protected:
+  void on_message(const sim::Envelope&) override {}
+};
+
+/// Requests earlier sequence numbers than its real perception by shifting
+/// its prediction set into the past (a reordering attempt, §VI-D: it can
+/// only drift by lambda before correct processes reject the request).
+class SkewedPredictionLyraNode final : public core::LyraNode {
+ public:
+  SkewedPredictionLyraNode(sim::Simulation* sim, net::Network* network,
+                           NodeId id, const core::Config& config,
+                           const crypto::KeyRegistry* registry, SeqNum skew)
+      : core::LyraNode(sim, network, id, config, registry), skew_(skew) {}
+
+ protected:
+  std::vector<SeqNum> build_predictions(SeqNum s_ref) const override {
+    std::vector<SeqNum> preds = core::LyraNode::build_predictions(s_ref);
+    for (SeqNum& p : preds) p -= skew_;
+    return preds;
+  }
+
+ private:
+  SeqNum skew_;
+};
+
+/// Reports absurdly low locked prefixes and pending sequence numbers,
+/// trying to stall the global stable watermark (countered by the
+/// 2f+1-highest rule, Alg. 4 lines 83-85).
+class LowballStatusLyraNode final : public core::LyraNode {
+ public:
+  using core::LyraNode::LyraNode;
+
+ protected:
+  void fill_status(core::StatusPiggyback& status, bool broadcast) override {
+    core::LyraNode::fill_status(status, broadcast);
+    status.locked = kNoSeq / 2;
+    status.min_pending = kNoSeq / 2;
+  }
+};
+
+/// Floods the cluster with requests sequenced far in the future (memory
+/// exhaustion attempt, §VI-D: rejected by the future bound).
+class FutureFloodLyraNode final : public core::LyraNode {
+ public:
+  FutureFloodLyraNode(sim::Simulation* sim, net::Network* network, NodeId id,
+                      const core::Config& config,
+                      const crypto::KeyRegistry* registry, SeqNum offset)
+      : core::LyraNode(sim, network, id, config, registry), offset_(offset) {}
+
+ protected:
+  std::vector<SeqNum> build_predictions(SeqNum s_ref) const override {
+    std::vector<SeqNum> preds = core::LyraNode::build_predictions(s_ref);
+    for (SeqNum& p : preds) p += offset_;
+    return preds;
+  }
+
+ private:
+  SeqNum offset_;
+};
+
+/// Broadcaster that sends its INIT only to the `recipients` lowest-id
+/// processes, withholding it from the rest. Exercises VVB-Obligation (the
+/// expiration timeout + INIT forwarding) and the ReqInit pull path: the
+/// instance must still terminate at every correct process, and if it is
+/// accepted, even processes that never saw the INIT must commit it.
+class SelectiveInitLyraNode final : public core::LyraNode {
+ public:
+  SelectiveInitLyraNode(sim::Simulation* sim, net::Network* network,
+                        NodeId id, const core::Config& config,
+                        const crypto::KeyRegistry* registry,
+                        std::size_t recipients)
+      : core::LyraNode(sim, network, id, config, registry),
+        recipients_(recipients) {}
+
+  /// Proposes `payload` to the chosen subset only.
+  void propose_selectively(BytesView payload);
+
+ private:
+  std::size_t recipients_;
+};
+
+/// Equivocating broadcaster: sends one INIT to even-numbered processes and
+/// a different one (same instance id) to odd-numbered ones. VVB-Unicity
+/// must prevent both from being delivered with 1.
+class EquivocatingLyraNode final : public core::LyraNode {
+ public:
+  using core::LyraNode::LyraNode;
+
+  /// Launches one equivocating instance carrying the two payloads.
+  void equivocate(BytesView payload_even, BytesView payload_odd);
+
+  std::uint64_t equivocations_sent() const { return equivocations_; }
+
+ private:
+  std::shared_ptr<core::InitMsg> make_init(const InstanceId& inst,
+                                           BytesView payload);
+
+  std::uint64_t equivocations_ = 0;
+};
+
+}  // namespace lyra::attacks

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "pompe/pompe_node.hpp"
+
+namespace lyra::attacks {
+
+/// A Byzantine HotStuff leader that censors one proposer: it simply never
+/// includes the victim's sequenced batches in its blocks. It otherwise
+/// follows the protocol, so no timeout fires and no view change rescues
+/// the victim — the censorship the paper attributes to leader-based
+/// designs like Fino and Pompē (§I, §V-E). Lyra has no such role to abuse.
+class CensoringPompeNode final : public pompe::PompeNode {
+ public:
+  CensoringPompeNode(sim::Simulation* sim, net::Network* network, NodeId id,
+                     const pompe::PompeConfig& config,
+                     const crypto::KeyRegistry* registry, NodeId victim)
+      : pompe::PompeNode(sim, network, id, config, registry) {
+    hotstuff().entry_filter = [this, victim](
+                                  std::vector<hotstuff::BlockEntry>& entries) {
+      std::erase_if(entries, [&](const hotstuff::BlockEntry& e) {
+        if (e.proposer == victim) {
+          ++censored_;
+          return true;
+        }
+        return false;
+      });
+    };
+  }
+
+  std::uint64_t censored() const { return censored_; }
+
+ private:
+  std::uint64_t censored_ = 0;
+};
+
+}  // namespace lyra::attacks

@@ -1,0 +1,53 @@
+#include "client/client_pool.hpp"
+
+namespace lyra::client {
+
+using core::CommitNotifyMsg;
+using core::SubmitMsg;
+
+ClientPool::ClientPool(sim::Simulation* sim, sim::Transport* transport,
+                       NodeId id, NodeId target_node, std::uint32_t width,
+                       TimeNs start_at, TimeNs measure_from,
+                       TimeNs measure_to)
+    : Process(sim, transport, id),
+      target_(target_node),
+      width_(width),
+      start_at_(start_at),
+      measure_from_(measure_from),
+      measure_to_(measure_to) {}
+
+void ClientPool::on_start() {
+  set_timer(start_at_, [this] { submit(width_); });
+}
+
+void ClientPool::submit(std::uint32_t count) {
+  if (count == 0) return;
+  auto msg = std::make_shared<SubmitMsg>();
+  msg->count = count;
+  msg->submitted_at = now();
+  send(target_, std::move(msg));
+}
+
+void ClientPool::on_message(const sim::Envelope& env) {
+  const auto* notify = sim::payload_as<CommitNotifyMsg>(env);
+  if (notify == nullptr) return;
+
+  committed_total_ += notify->count;
+  const double latency = to_ms(now() - notify->submitted_at);
+  if (now() >= measure_from_ && now() <= measure_to_) {
+    committed_in_window_ += notify->count;
+    latency_ms_.add(latency);
+    weighted_latency_sum_ms_ += latency * notify->count;
+    weighted_count_ += notify->count;
+  }
+  // Closed loop: every committed transaction triggers its client's next
+  // submission.
+  submit(notify->count);
+}
+
+double ClientPool::weighted_mean_latency_ms() const {
+  if (weighted_count_ == 0) return 0.0;
+  return weighted_latency_sum_ms_ / static_cast<double>(weighted_count_);
+}
+
+}  // namespace lyra::client

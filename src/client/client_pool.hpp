@@ -1,0 +1,60 @@
+#pragma once
+
+#include "lyra/messages.hpp"
+#include "sim/process.hpp"
+#include "support/stats.hpp"
+
+namespace lyra::client {
+
+/// A pool of closed-loop clients co-located with one consensus node (the
+/// paper's methodology, §VI-A: dedicated client machines, each client keeps
+/// exactly one transaction in flight and submits the next one when the
+/// previous commits).
+///
+/// The pool aggregates its clients into count-based submissions: one
+/// SubmitMsg stands for `count` independent 32-byte transactions submitted
+/// at the same instant. This keeps the event count per batch O(1) instead
+/// of O(batch) while preserving closed-loop dynamics and per-transaction
+/// latency accounting (all transactions of a chunk share a submission
+/// time).
+class ClientPool final : public sim::Process {
+ public:
+  /// `width` = number of virtual closed-loop clients in the pool.
+  /// Latency samples are only recorded inside [measure_from, measure_to].
+  ClientPool(sim::Simulation* sim, sim::Transport* transport, NodeId id,
+             NodeId target_node, std::uint32_t width, TimeNs start_at,
+             TimeNs measure_from, TimeNs measure_to);
+
+  void on_start() override;
+
+  /// Per-chunk commit latency in milliseconds (each sample is one
+  /// submission wave of the pool).
+  const Samples& latency_ms() const { return latency_ms_; }
+
+  /// Transaction-weighted latency statistics.
+  double weighted_mean_latency_ms() const;
+
+  /// Transactions committed inside the measurement window.
+  std::uint64_t committed_in_window() const { return committed_in_window_; }
+  std::uint64_t committed_total() const { return committed_total_; }
+
+ protected:
+  void on_message(const sim::Envelope& env) override;
+
+ private:
+  void submit(std::uint32_t count);
+
+  NodeId target_;
+  std::uint32_t width_;
+  TimeNs start_at_;
+  TimeNs measure_from_;
+  TimeNs measure_to_;
+
+  Samples latency_ms_;
+  double weighted_latency_sum_ms_ = 0.0;
+  std::uint64_t weighted_count_ = 0;
+  std::uint64_t committed_in_window_ = 0;
+  std::uint64_t committed_total_ = 0;
+};
+
+}  // namespace lyra::client

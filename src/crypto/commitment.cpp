@@ -1,0 +1,25 @@
+#include "crypto/commitment.hpp"
+
+namespace lyra::crypto {
+
+namespace {
+Digest commitment_digest(BytesView blinding, BytesView message) {
+  return Hasher().add_str("commit").add(blinding).add(message).digest();
+}
+}  // namespace
+
+Commitment commit(BytesView message, Rng& rng,
+                  CommitmentOpening& opening_out) {
+  opening_out.blinding.resize(32);
+  for (auto& b : opening_out.blinding) {
+    b = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  opening_out.message.assign(message.begin(), message.end());
+  return Commitment{commitment_digest(opening_out.blinding, message)};
+}
+
+bool verify_opening(const Commitment& c, const CommitmentOpening& opening) {
+  return c.value == commitment_digest(opening.blinding, opening.message);
+}
+
+}  // namespace lyra::crypto

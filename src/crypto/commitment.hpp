@@ -1,0 +1,29 @@
+#pragma once
+
+#include "crypto/hash.hpp"
+#include "support/bytes.hpp"
+#include "support/random.hpp"
+
+namespace lyra::crypto {
+
+/// Hash-based commitment in the style of Halevi-Micali [13]: the commitment
+/// is H(r || m) for a 32-byte random blinding r. Hiding rests on the hash
+/// behaving as a random oracle over the high-entropy prefix; binding rests
+/// on collision resistance. The paper's prototype (§VI-A) uses exactly this
+/// kind of scheme to obfuscate transactions.
+struct Commitment {
+  Digest value{};
+
+  friend bool operator==(const Commitment&, const Commitment&) = default;
+};
+
+struct CommitmentOpening {
+  Bytes blinding;  // 32 random bytes
+  Bytes message;
+};
+
+Commitment commit(BytesView message, Rng& rng, CommitmentOpening& opening_out);
+
+bool verify_opening(const Commitment& c, const CommitmentOpening& opening);
+
+}  // namespace lyra::crypto

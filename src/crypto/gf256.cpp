@@ -1,0 +1,46 @@
+#include "crypto/gf256.hpp"
+
+#include "support/assert.hpp"
+
+namespace lyra::crypto {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 256> exp{};
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  // 0x03 generates the multiplicative group of GF(2^8)/0x11b.
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = x;
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x = Gf256::mul_slow(x, 0x03);
+  }
+  t.exp[255] = t.exp[0];  // wraparound convenience
+  return t;
+}
+
+constexpr Tables kTables = build_tables();
+
+}  // namespace
+
+std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const int sum = kTables.log[a] + kTables.log[b];
+  return kTables.exp[static_cast<std::size_t>(sum % 255)];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) {
+  LYRA_ASSERT(a != 0, "zero has no inverse in GF(256)");
+  return kTables.exp[static_cast<std::size_t>((255 - kTables.log[a]) % 255)];
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) {
+  return mul(a, inv(b));
+}
+
+}  // namespace lyra::crypto

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lyra::crypto {
+
+/// Arithmetic in GF(2^8) with the AES reduction polynomial
+/// x^8 + x^4 + x^3 + x + 1 (0x11b). Used by the Shamir secret-sharing
+/// substrate of the VSS scheme. Multiplication and inversion go through
+/// log/antilog tables built at compile time from the generator 0x03.
+class Gf256 {
+ public:
+  static constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;
+  }
+
+  static constexpr std::uint8_t sub(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;  // characteristic 2: subtraction == addition
+  }
+
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+  /// Multiplicative inverse; a must be non-zero.
+  static std::uint8_t inv(std::uint8_t a);
+
+  /// a / b; b must be non-zero.
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+  /// Slow bitwise ("Russian peasant") multiplication, used to cross-check
+  /// the tables in tests.
+  static constexpr std::uint8_t mul_slow(std::uint8_t a, std::uint8_t b) {
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (b & 1) p ^= a;
+      const bool carry = (a & 0x80) != 0;
+      a = static_cast<std::uint8_t>(a << 1);
+      if (carry) a ^= 0x1b;
+      b >>= 1;
+    }
+    return p;
+  }
+};
+
+}  // namespace lyra::crypto

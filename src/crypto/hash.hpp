@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+#include "support/types.hpp"
+
+namespace lyra::crypto {
+
+/// Builder for hashing structured values. Fields are length/tag separated so
+/// that distinct field sequences never produce colliding inputs.
+class Hasher {
+ public:
+  Hasher& add(BytesView bytes);
+  Hasher& add(const Digest& d);
+  Hasher& add_u64(std::uint64_t v);
+  Hasher& add_i64(std::int64_t v);
+  Hasher& add_u32(std::uint32_t v);
+  Hasher& add_str(std::string_view s);
+
+  Digest digest();
+
+ private:
+  Sha256 inner_;
+};
+
+/// Hex string of a digest (for logs and debugging).
+std::string digest_hex(const Digest& d);
+
+/// Short hex prefix (8 chars) for trace output.
+std::string digest_short(const Digest& d);
+
+constexpr Digest kZeroDigest{};
+
+/// Hash functor for using Digest as an unordered-map key. Digests are
+/// uniformly distributed, so the first 8 bytes suffice.
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const noexcept {
+    std::size_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | d[static_cast<std::size_t>(i)];
+    return h;
+  }
+};
+
+}  // namespace lyra::crypto

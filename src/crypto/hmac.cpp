@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace lyra::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad.data(), ipad.size());
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad.data(), opad.size());
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finalize();
+}
+
+}  // namespace lyra::crypto

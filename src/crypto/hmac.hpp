@@ -1,0 +1,11 @@
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace lyra::crypto {
+
+/// HMAC-SHA256 (RFC 2104), verified against RFC 4231 test vectors.
+Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace lyra::crypto

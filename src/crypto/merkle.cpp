@@ -1,0 +1,69 @@
+#include "crypto/merkle.hpp"
+
+#include "support/assert.hpp"
+
+namespace lyra::crypto {
+
+Digest MerkleTree::hash_leaf(const Digest& d) {
+  return Hasher().add_str("leaf").add(d).digest();
+}
+
+Digest MerkleTree::hash_node(const Digest& left, const Digest& right) {
+  return Hasher().add_str("node").add(left).add(right).digest();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) return;
+
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Digest& d : leaves) level.push_back(hash_leaf(d));
+  levels_.push_back(std::move(level));
+
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(hash_node(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());
+    levels_.push_back(std::move(next));
+  }
+}
+
+Digest MerkleTree::root() const {
+  if (levels_.empty()) return kZeroDigest;
+  return levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  LYRA_ASSERT(index < leaf_count_, "leaf index out of range");
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back({level[sibling], sibling < pos});
+    }
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, std::size_t index,
+                        const MerkleProof& proof, const Digest& root) {
+  Digest acc = hash_leaf(leaf);
+  std::size_t pos = index;
+  for (const MerkleStep& step : proof) {
+    acc = step.sibling_is_left ? hash_node(step.sibling, acc)
+                               : hash_node(acc, step.sibling);
+    pos /= 2;
+  }
+  (void)pos;
+  return acc == root;
+}
+
+}  // namespace lyra::crypto

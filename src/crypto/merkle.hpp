@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "support/bytes.hpp"
+
+namespace lyra::crypto {
+
+/// One step of a Merkle inclusion proof: the sibling digest and whether the
+/// sibling sits on the left of the path node.
+struct MerkleStep {
+  Digest sibling{};
+  bool sibling_is_left = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Binary Merkle tree over leaf digests. The Commit protocol uses Merkle
+/// roots "in lieu of older prefixes to reduce message size" (paper §V-C):
+/// processes piggyback the root of their accepted-transaction prefix instead
+/// of the prefix itself.
+///
+/// Leaves and interior nodes are domain-separated (leaf = H(0x00 || d),
+/// node = H(0x01 || l || r)) so a leaf can never be confused with an
+/// interior node. Odd nodes are promoted unhashed to the next level.
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Root of the tree. The empty tree has the all-zero root.
+  Digest root() const;
+
+  /// Inclusion proof for the leaf at `index`.
+  MerkleProof prove(std::size_t index) const;
+
+  /// Verifies that `leaf` is at `index` in a tree with the given root.
+  static bool verify(const Digest& leaf, std::size_t index,
+                     const MerkleProof& proof, const Digest& root);
+
+  static Digest hash_leaf(const Digest& d);
+  static Digest hash_node(const Digest& left, const Digest& right);
+
+ private:
+  std::size_t leaf_count_;
+  // levels_[0] = hashed leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace lyra::crypto

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace lyra::crypto {
+
+/// 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4). From-scratch implementation, verified
+/// against the NIST test vectors in tests/crypto/sha256_test.cpp.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  void update(const void* data, std::size_t len);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without calling reset().
+  Digest finalize();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace lyra::crypto

@@ -1,0 +1,84 @@
+#include "crypto/shamir.hpp"
+
+#include <algorithm>
+
+#include "crypto/gf256.hpp"
+#include "support/assert.hpp"
+
+namespace lyra::crypto {
+
+std::vector<ShamirShare> Shamir::split(BytesView secret, std::uint32_t n,
+                                       std::uint32_t k, Rng& rng) {
+  LYRA_ASSERT(k > 0 && k <= n && n <= 255, "need 0 < k <= n <= 255");
+
+  std::vector<ShamirShare> shares(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    shares[i].x = static_cast<std::uint8_t>(i + 1);
+    shares[i].y.resize(secret.size());
+  }
+
+  std::vector<std::uint8_t> coeffs(k);
+  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
+    coeffs[0] = secret[byte];
+    for (std::uint32_t d = 1; d < k; ++d) {
+      coeffs[d] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Horner evaluation at x = i+1.
+      std::uint8_t acc = 0;
+      for (std::uint32_t d = k; d-- > 0;) {
+        acc = Gf256::add(Gf256::mul(acc, shares[i].x), coeffs[d]);
+      }
+      shares[i].y[byte] = acc;
+    }
+  }
+  return shares;
+}
+
+std::optional<Bytes> Shamir::combine(const std::vector<ShamirShare>& shares,
+                                     std::uint32_t k) {
+  if (shares.size() < k || k == 0) return std::nullopt;
+
+  // Use the first k shares; validate distinct x and equal lengths.
+  std::vector<const ShamirShare*> used;
+  used.reserve(k);
+  for (const auto& s : shares) {
+    if (s.x == 0) return std::nullopt;
+    const bool dup = std::any_of(used.begin(), used.end(), [&](auto* u) {
+      return u->x == s.x;
+    });
+    if (dup) continue;
+    if (!used.empty() && s.y.size() != used.front()->y.size()) {
+      return std::nullopt;
+    }
+    used.push_back(&s);
+    if (used.size() == k) break;
+  }
+  if (used.size() < k) return std::nullopt;
+
+  // Lagrange basis at x = 0: l_i(0) = prod_{j != i} x_j / (x_j - x_i).
+  std::vector<std::uint8_t> lagrange(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::uint8_t num = 1;
+    std::uint8_t den = 1;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      num = Gf256::mul(num, used[j]->x);
+      den = Gf256::mul(den, Gf256::sub(used[j]->x, used[i]->x));
+    }
+    lagrange[i] = Gf256::div(num, den);
+  }
+
+  const std::size_t len = used.front()->y.size();
+  Bytes secret(len);
+  for (std::size_t byte = 0; byte < len; ++byte) {
+    std::uint8_t acc = 0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      acc = Gf256::add(acc, Gf256::mul(lagrange[i], used[i]->y[byte]));
+    }
+    secret[byte] = acc;
+  }
+  return secret;
+}
+
+}  // namespace lyra::crypto

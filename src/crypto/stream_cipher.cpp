@@ -1,0 +1,27 @@
+#include "crypto/stream_cipher.hpp"
+
+namespace lyra::crypto {
+
+Bytes xor_keystream(const Digest& key, BytesView data) {
+  Bytes out(data.begin(), data.end());
+  std::uint64_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    Sha256 h;
+    h.update(key.data(), key.size());
+    std::uint8_t ctr_le[8];
+    for (int i = 0; i < 8; ++i) {
+      ctr_le[i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    }
+    h.update(ctr_le, sizeof ctr_le);
+    const Digest block = h.finalize();
+
+    const std::size_t take = std::min(block.size(), out.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) out[pos + i] ^= block[i];
+    pos += take;
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace lyra::crypto

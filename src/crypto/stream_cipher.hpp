@@ -1,0 +1,13 @@
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace lyra::crypto {
+
+/// SHA-256 in counter mode as a keystream generator. Block i of the
+/// keystream is SHA256(key || i); encryption XORs the keystream into the
+/// payload. Symmetric: apply twice to recover the plaintext.
+Bytes xor_keystream(const Digest& key, BytesView data);
+
+}  // namespace lyra::crypto

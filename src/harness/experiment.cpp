@@ -1,0 +1,162 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "attacks/byzantine_lyra.hpp"
+#include "harness/lyra_cluster.hpp"
+#include "harness/pompe_cluster.hpp"
+
+namespace lyra::harness {
+
+namespace {
+
+/// 3-continent topology with one client-pool slot co-located with each
+/// node (the paper's dedicated client machines, §VI-A).
+net::Topology benchmark_topology(std::size_t n) {
+  net::Topology t = net::three_continents(n, std::vector<net::Region>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    t.placement[n + i] = t.placement[i];
+  }
+  return t;
+}
+
+template <class Cluster>
+RunResult collect_client_stats(Cluster& cluster, const RunConfig& config) {
+  RunResult r;
+  Samples all_latencies;
+  double weighted_sum = 0.0;
+  std::uint64_t weighted_count = 0;
+  for (const auto& pool : cluster.pools()) {
+    r.committed_txs += pool->committed_in_window();
+    for (double v : pool->latency_ms().values()) all_latencies.add(v);
+    weighted_sum +=
+        pool->weighted_mean_latency_ms() *
+        static_cast<double>(pool->committed_in_window());
+    weighted_count += pool->committed_in_window();
+  }
+  const double window_s =
+      to_ms(config.duration - config.measure_from) / 1000.0;
+  r.throughput_tps = static_cast<double>(r.committed_txs) / window_s;
+  if (weighted_count > 0) {
+    r.mean_latency_ms = weighted_sum / static_cast<double>(weighted_count);
+  }
+  if (all_latencies.count() > 0) {
+    r.p50_latency_ms = all_latencies.percentile(0.5);
+    r.p99_latency_ms = all_latencies.percentile(0.99);
+  }
+  return r;
+}
+
+RunResult run_lyra(const RunConfig& config) {
+  LyraClusterOptions opts;
+  opts.config.n = config.n;
+  opts.config.f = config.f();
+  opts.config.delta = ms(160);  // 1.2x the longest one-way leg
+  opts.config.lambda = config.lambda;
+  opts.config.batch_size = config.batch_size;
+  opts.config.obfuscate = config.obfuscate;
+  opts.config.max_outstanding_proposals = config.max_outstanding;
+  opts.config.retain_payloads = false;  // keep host memory flat
+  opts.topology = benchmark_topology(config.n);
+  opts.seed = config.seed;
+  if (config.byzantine_silent > 0) {
+    const std::size_t silent = config.byzantine_silent;
+    opts.node_factory = [silent](sim::Simulation* sim, net::Network* net,
+                                 NodeId id, const core::Config& cfg,
+                                 const crypto::KeyRegistry* reg)
+        -> std::unique_ptr<core::LyraNode> {
+      if (id < silent) {
+        return std::make_unique<attacks::SilentLyraNode>(sim, net, id, cfg,
+                                                         reg);
+      }
+      return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+    };
+  }
+
+  LyraCluster cluster(std::move(opts));
+  cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);
+  for (NodeId i = 0; i < config.n; ++i) {
+    if (i < config.byzantine_silent) continue;  // no clients on dead nodes
+    cluster.add_client_pool(i, config.clients_per_node, config.client_start,
+                            config.measure_from, config.duration);
+  }
+  cluster.start();
+  cluster.run_for(config.duration);
+
+  RunResult r = collect_client_stats(cluster, config);
+  r.prefix_consistent = cluster.ledgers_prefix_consistent();
+  r.late_accepts = cluster.total_late_accepts();
+
+  Samples rounds;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  for (NodeId i = static_cast<NodeId>(config.byzantine_silent);
+       i < config.n; ++i) {
+    const auto& stats = cluster.node(i).stats();
+    for (double v : stats.decide_rounds.values()) rounds.add(v);
+    ok += stats.validations_ok;
+    rejected += stats.validations_rejected;
+  }
+  r.mean_decide_rounds = rounds.mean();
+  r.max_decide_rounds = rounds.count() ? rounds.max() : 0.0;
+  if (ok + rejected > 0) {
+    r.validation_accept_rate =
+        static_cast<double>(ok) / static_cast<double>(ok + rejected);
+  }
+  return r;
+}
+
+RunResult run_pompe(const RunConfig& config) {
+  PompeClusterOptions opts;
+  opts.config.n = config.n;
+  opts.config.f = config.f();
+  opts.config.delta = ms(160);
+  opts.config.batch_size = config.batch_size;
+  opts.config.initial_leader = 0;  // Oregon
+  opts.topology = benchmark_topology(config.n);
+  opts.seed = config.seed;
+
+  PompeCluster cluster(std::move(opts));
+  cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);
+  for (NodeId i = 0; i < config.n; ++i) {
+    cluster.add_client_pool(i, config.clients_per_node, config.client_start,
+                            config.measure_from, config.duration);
+  }
+  cluster.start();
+  cluster.run_for(config.duration);
+
+  RunResult r = collect_client_stats(cluster, config);
+  r.prefix_consistent = cluster.ledgers_prefix_consistent();
+  for (NodeId i = 0; i < config.n; ++i) {
+    r.proof_verifications += cluster.node(i).stats().proof_verifications;
+  }
+  return r;
+}
+
+}  // namespace
+
+RunResult run_experiment(const RunConfig& config) {
+  return config.protocol == RunConfig::Protocol::kLyra ? run_lyra(config)
+                                                       : run_pompe(config);
+}
+
+double pompe_capacity_estimate(std::size_t n, std::size_t batch_size,
+                               double bandwidth_bytes_per_sec) {
+  // Leader egress: each committed batch is re-broadcast inside a block to
+  // n-1 replicas, costing ~ (32 B/tx * batch + proof) bytes each.
+  const double batch_bytes =
+      static_cast<double>(batch_size) * 32.0 + 2.0 * n / 3.0 * 72.0 + 64.0;
+  const double egress_limit =
+      bandwidth_bytes_per_sec / (batch_bytes * static_cast<double>(n - 1)) *
+      static_cast<double>(batch_size);
+  // Pipeline bound: ~8 blocks/s (one per quorum RTT) of ~16 batches.
+  const double pipeline_limit = 8.0 * 16.0 * static_cast<double>(batch_size);
+  return std::min(egress_limit, pipeline_limit);
+}
+
+const char* protocol_name(RunConfig::Protocol p) {
+  return p == RunConfig::Protocol::kLyra ? "lyra" : "pompe";
+}
+
+}  // namespace lyra::harness

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace lyra::harness {
+
+/// One benchmark run: a protocol, a cluster size, and a closed-loop client
+/// load, on the paper's 3-continent topology (§VI-A).
+struct RunConfig {
+  enum class Protocol { kLyra, kPompe };
+
+  Protocol protocol = Protocol::kLyra;
+  std::size_t n = 4;
+  std::uint32_t clients_per_node = 1600;  // closed-loop width per node
+
+  TimeNs duration = ms(6000);
+  TimeNs measure_from = ms(2500);
+  TimeNs client_start = ms(900);  // after Lyra's distance warm-up
+  std::uint64_t seed = 42;
+
+  // Protocol knobs (paper defaults).
+  std::size_t batch_size = 800;
+  SeqNum lambda = ms(5);
+  bool obfuscate = true;                 // Lyra commit-reveal on/off
+  std::size_t max_outstanding = 3;       // Lyra proposal pacing
+  std::size_t byzantine_silent = 0;      // crash-faulty Lyra nodes
+
+  /// Effective per-node egress (DESIGN.md: sustained cross-continent TCP
+  /// goodput, not the NIC line rate).
+  double bandwidth_bytes_per_sec = 125e6;
+
+  std::size_t f() const { return (n - 1) / 3; }
+};
+
+struct RunResult {
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double throughput_tps = 0.0;
+  std::uint64_t committed_txs = 0;
+  bool prefix_consistent = false;
+  std::uint64_t late_accepts = 0;        // Lyra only
+  double mean_decide_rounds = 0.0;       // Lyra only
+  double max_decide_rounds = 0.0;        // Lyra only
+  double validation_accept_rate = 1.0;   // Lyra only
+  std::uint64_t proof_verifications = 0; // Pompē only
+};
+
+/// Executes one run and aggregates client-side measurements.
+RunResult run_experiment(const RunConfig& config);
+
+/// Crude capacity estimate for Pompē at n nodes (tx/s), used by benches to
+/// pick client widths around the saturation knee: the leader's egress
+/// serializes every batch to every replica; small clusters are bounded by
+/// the pipeline rate instead.
+double pompe_capacity_estimate(std::size_t n, std::size_t batch_size,
+                               double bandwidth_bytes_per_sec);
+
+const char* protocol_name(RunConfig::Protocol p);
+
+}  // namespace lyra::harness

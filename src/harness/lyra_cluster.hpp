@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/client_pool.hpp"
+#include "crypto/keys.hpp"
+#include "lyra/lyra_node.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace lyra::harness {
+
+/// Factory for one consensus node — override to drop Byzantine variants
+/// into chosen slots.
+using NodeFactory = std::function<std::unique_ptr<core::LyraNode>(
+    sim::Simulation*, net::Network*, NodeId, const core::Config&,
+    const crypto::KeyRegistry*)>;
+
+struct LyraClusterOptions {
+  core::Config config;
+  net::Topology topology;  // >= config.n placements; extras host clients
+  std::uint64_t seed = 1;
+  NodeFactory node_factory;  // default: correct LyraNode
+};
+
+/// Assembles a full Lyra deployment on the simulator: key registry,
+/// network, consensus nodes, and optional closed-loop client pools.
+class LyraCluster {
+ public:
+  explicit LyraCluster(LyraClusterOptions options);
+
+  sim::Simulation& simulation() { return sim_; }
+  net::Network& network() { return *network_; }
+  const crypto::KeyRegistry& registry() const { return registry_; }
+  core::LyraNode& node(NodeId id) { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+  const core::Config& config() const { return options_.config; }
+
+  /// Attaches a closed-loop client pool targeting `target`. The pool's
+  /// process id is the next free id; its topology slot must exist.
+  client::ClientPool& add_client_pool(NodeId target, std::uint32_t width,
+                                      TimeNs start_at, TimeNs measure_from,
+                                      TimeNs measure_to);
+
+  /// Registers an externally-constructed process (attacker, bespoke
+  /// client) with the network.
+  void adopt_process(std::unique_ptr<sim::Process> process);
+
+  NodeId next_process_id() const { return next_id_; }
+
+  /// Calls on_start on every process. Must run before the simulation.
+  void start();
+
+  void run_for(TimeNs duration) {
+    sim_.run_until(sim_.now() + duration);
+  }
+
+  // --- cross-node invariants (used by tests) ---
+
+  /// SMR-Safety: every pair of ledgers must be prefix-related on
+  /// (seq, cipher_id).
+  bool ledgers_prefix_consistent() const;
+
+  /// Shortest ledger across correct nodes.
+  std::size_t min_ledger_length() const;
+  std::size_t max_ledger_length() const;
+
+  /// Sum of late_accepts across nodes (must be 0, Lemma 6 completeness).
+  std::uint64_t total_late_accepts() const;
+
+  const std::vector<std::unique_ptr<client::ClientPool>>& pools() const {
+    return pools_;
+  }
+
+ private:
+  LyraClusterOptions options_;
+  sim::Simulation sim_;
+  crypto::KeyRegistry registry_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<core::LyraNode>> nodes_;
+  std::vector<std::unique_ptr<client::ClientPool>> pools_;
+  std::vector<std::unique_ptr<sim::Process>> extra_processes_;
+  NodeId next_id_;
+  bool started_ = false;
+};
+
+}  // namespace lyra::harness

@@ -1,0 +1,28 @@
+#include "hotstuff/block.hpp"
+
+namespace lyra::hotstuff {
+
+crypto::Digest Block::digest() const {
+  crypto::Hasher h;
+  h.add_str("hs-block")
+      .add_u64(height)
+      .add_u64(view)
+      .add_u32(proposer)
+      .add(parent)
+      .add_u64(justify.height)
+      .add(justify.block);
+  for (const BlockEntry& e : entries) {
+    h.add(e.batch_digest).add_i64(e.assigned_ts).add_u32(e.proposer);
+  }
+  return h.digest();
+}
+
+std::uint64_t Block::wire_bytes() const {
+  std::uint64_t bytes = 256;  // header + QC
+  for (const BlockEntry& e : entries) {
+    bytes += 64 + e.nominal_bytes + e.proof_bytes;
+  }
+  return bytes;
+}
+
+}  // namespace lyra::hotstuff

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "crypto/keys.hpp"
+#include "support/types.hpp"
+
+namespace lyra::hotstuff {
+
+/// One command carried by a block. For the Pompē baseline this is a
+/// sequenced transaction batch: its content digest, its assigned (median)
+/// timestamp, and accounting metadata. The timestamp proof travels
+/// separately in the SequenceMsg and is verified before the entry becomes
+/// proposable; `proof_bytes` accounts for its wire size inside the block.
+struct BlockEntry {
+  crypto::Digest batch_digest{};
+  SeqNum assigned_ts = kNoSeq;
+  NodeId proposer = kNoNode;
+  std::uint32_t tx_count = 0;
+  std::uint64_t nominal_bytes = 0;
+  std::uint64_t proof_bytes = 0;
+};
+
+/// Quorum certificate over (height, block digest): 2f+1 combined signature
+/// shares. `genesis` marks the implicit QC of the genesis block.
+struct QuorumCert {
+  std::uint64_t height = 0;
+  crypto::Digest block{};
+  crypto::ThresholdSig sig;
+  bool genesis = false;
+};
+
+/// A chained-HotStuff block.
+struct Block {
+  std::uint64_t height = 0;
+  std::uint64_t view = 0;
+  NodeId proposer = kNoNode;
+  crypto::Digest parent{};
+  QuorumCert justify;
+  std::vector<BlockEntry> entries;
+
+  crypto::Digest digest() const;
+
+  /// Bytes the block occupies on the wire: header + entries with their
+  /// payloads and timestamp proofs (the prototype proposes full commands).
+  std::uint64_t wire_bytes() const;
+};
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+}  // namespace lyra::hotstuff

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "hotstuff/block.hpp"
+#include "sim/message.hpp"
+
+namespace lyra::hotstuff {
+
+using sim::MsgKind;
+
+/// Leader -> replicas: a new block.
+struct ProposalMsg final : sim::Payload {
+  BlockPtr block;
+
+  const char* name() const override { return "HS_PROPOSAL"; }
+  MsgKind kind() const override { return MsgKind::kHsProposal; }
+  std::size_t wire_size() const override {
+    return block ? block->wire_bytes() : 64;
+  }
+};
+
+/// Replica -> leader: a partial signature over (height, block digest).
+struct BlockVoteMsg final : sim::Payload {
+  std::uint64_t height = 0;
+  crypto::Digest block{};
+  crypto::SigShare share;
+
+  const char* name() const override { return "HS_VOTE"; }
+  MsgKind kind() const override { return MsgKind::kHsVote; }
+  std::size_t wire_size() const override { return 120; }
+};
+
+/// Replica -> next leader after a local timeout: carries the highest QC
+/// the replica knows so the new leader can extend it.
+struct NewViewMsg final : sim::Payload {
+  std::uint64_t view = 0;
+  QuorumCert high_qc;
+
+  const char* name() const override { return "HS_NEWVIEW"; }
+  MsgKind kind() const override { return MsgKind::kHsNewView; }
+  std::size_t wire_size() const override { return 260; }
+};
+
+}  // namespace lyra::hotstuff

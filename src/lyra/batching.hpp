@@ -1,0 +1,101 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/types.hpp"
+
+namespace lyra::core {
+
+/// Accumulates client submissions and carves consensus batches of at most
+/// `batch_size` transactions (§VI-B: proposals carry full batches; a
+/// partial batch goes out on the batch timeout). Shared by the Lyra and
+/// Pompē proposers so both batch identically.
+///
+/// Submissions are either explicit transaction payloads (examples) or
+/// count-aggregates (benchmark workload); aggregates are materialized as
+/// unique markers so batch contents never collide across proposers.
+class BatchAssembler {
+ public:
+  struct Chunk {
+    NodeId client = kNoNode;
+    std::uint32_t count = 0;
+    TimeNs submitted_at = 0;
+  };
+
+  struct Carved {
+    Bytes payload;
+    std::uint32_t tx_count = 0;
+    std::uint64_t nominal_bytes = 0;
+    std::vector<Chunk> chunks;
+  };
+
+  BatchAssembler(std::size_t batch_size, NodeId self)
+      : batch_size_(batch_size), self_(self) {}
+
+  void add(NodeId client, std::uint32_t count, TimeNs submitted_at,
+           const std::vector<Bytes>& txs) {
+    if (count == 0) return;
+    pending_.push_back(Pending{client, count, submitted_at, txs});
+    pending_txs_ += count;
+  }
+
+  std::size_t pending_txs() const { return pending_txs_; }
+  bool has_full_batch() const { return pending_txs_ >= batch_size_; }
+  bool empty() const { return pending_txs_ == 0; }
+
+  /// Carves up to batch_size transactions into one batch.
+  Carved carve() {
+    Carved out;
+    while (!pending_.empty() && out.tx_count < batch_size_) {
+      Pending& p = pending_.front();
+      const auto take = static_cast<std::uint32_t>(
+          std::min<std::size_t>(p.count, batch_size_ - out.tx_count));
+
+      out.chunks.push_back({p.client, take, p.submitted_at});
+      out.tx_count += take;
+
+      if (!p.txs.empty()) {
+        // Explicit payloads: move the first `take` transactions.
+        for (std::uint32_t i = 0; i < take; ++i) {
+          const Bytes& tx = p.txs[i];
+          append_u64(out.payload, tx.size());
+          append(out.payload, tx);
+          out.nominal_bytes += 16 + tx.size();
+        }
+        p.txs.erase(p.txs.begin(), p.txs.begin() + take);
+      } else {
+        // Count aggregate: one unique marker stands in for `take` opaque
+        // 32-byte transactions.
+        append_u64(out.payload, take);
+        append_u64(out.payload, static_cast<std::uint64_t>(p.submitted_at));
+        append_u32(out.payload, p.client);
+        append_u32(out.payload, self_);
+        append_u64(out.payload, nonce_++);
+        out.nominal_bytes += static_cast<std::uint64_t>(take) * 32;
+      }
+
+      p.count -= take;
+      pending_txs_ -= take;
+      if (p.count == 0) pending_.pop_front();
+    }
+    return out;
+  }
+
+ private:
+  struct Pending {
+    NodeId client;
+    std::uint32_t count;
+    TimeNs submitted_at;
+    std::vector<Bytes> txs;  // empty for count aggregates
+  };
+
+  std::size_t batch_size_;
+  NodeId self_;
+  std::deque<Pending> pending_;
+  std::size_t pending_txs_ = 0;
+  std::uint64_t nonce_ = 0;
+};
+
+}  // namespace lyra::core

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "lyra/config.hpp"
+#include "lyra/messages.hpp"
+#include "support/types.hpp"
+
+namespace lyra::core {
+
+/// Bookkeeping of the Commit protocol (Alg. 4): pending and accepted
+/// transactions, the per-peer status tables R and S, and the
+/// locked / stable / committed watermarks. Pure state machine — the node
+/// feeds it events and reads back what to commit; it never touches the
+/// network.
+class CommitState {
+ public:
+  explicit CommitState(const Config& config);
+
+  // --- validation-side bookkeeping (Alg. 4 lines 65-66, 70-73) ---
+
+  /// A transaction this node validated joined its pending set P.
+  void add_pending(const crypto::Digest& cipher_id, SeqNum seq);
+
+  /// The transaction's BOC instance resolved (accepted or rejected):
+  /// removed from P either way.
+  void resolve_pending(const crypto::Digest& cipher_id);
+
+  bool is_pending(const crypto::Digest& cipher_id) const;
+
+  /// min-pending: lowest requested sequence number in P; kMaxSeq when P is
+  /// empty (no pending constraint on the stable prefix).
+  SeqNum min_pending() const;
+
+  // --- accepted set A (lines 71, 82) ---
+
+  /// Merges one accepted transaction (own decision or peer piggyback).
+  /// Returns true if it was new.
+  bool add_accepted(const AcceptedEntry& entry);
+
+  bool is_accepted(const crypto::Digest& cipher_id) const;
+  std::size_t accepted_count() const { return accepted_index_.size(); }
+
+  // --- peer status intake (lines 79-81) ---
+
+  /// Applies a peer's piggybacked status. Stale statuses (counter not
+  /// newer than the last applied) update nothing; accepted deltas are
+  /// merged by the caller separately.
+  void on_status(NodeId from, const StatusPiggyback& status);
+
+  // --- watermarks (lines 83-87) ---
+
+  /// Recomputes locked / stable / committed. Returns true when the
+  /// committed watermark advanced.
+  bool recompute();
+
+  SeqNum locked() const { return locked_; }
+  SeqNum stable() const { return stable_; }
+  SeqNum committed() const { return committed_; }
+
+  // --- commit extraction (lines 89-92) ---
+
+  /// wait-pending: true while some locally pending transaction has a
+  /// requested sequence number within the committed prefix.
+  bool has_pending_at_or_below(SeqNum x) const;
+
+  /// Accepted transactions inside the committed prefix not yet handed out,
+  /// ordered by (seq, cipher_id). Empty while wait-pending holds.
+  std::vector<AcceptedEntry> take_committable();
+
+  /// Entries accepted since the previous call (for the status piggyback's
+  /// accepted_delta).
+  std::vector<AcceptedEntry> drain_accepted_delta();
+
+  /// Number of accepted entries that arrived below an already-extracted
+  /// commit watermark. Always zero in a correct run (Lemma 6
+  /// completeness); integration tests assert on it.
+  std::uint64_t late_accepts() const { return late_accepts_; }
+
+ private:
+  const Config* config_;
+
+  // P: pending transactions with a multiset of their sequence numbers for
+  // O(log) min-pending.
+  std::unordered_map<crypto::Digest, SeqNum, crypto::DigestHash> pending_;
+  std::multiset<SeqNum> pending_seqs_;
+
+  // A: accepted transactions, indexed by id and ordered by (seq, id).
+  std::unordered_map<crypto::Digest, SeqNum, crypto::DigestHash>
+      accepted_index_;
+  std::map<std::pair<SeqNum, crypto::Digest>, AcceptedEntry> accepted_ordered_;
+
+  // R and S (locally locked prefixes / min-pendings per peer), plus the
+  // last applied status counter per peer.
+  std::vector<SeqNum> peer_locked_;
+  std::vector<SeqNum> peer_min_pending_;
+  std::vector<std::uint64_t> peer_status_counter_;
+
+  SeqNum locked_ = kNoSeq;
+  SeqNum stable_ = kNoSeq;
+  SeqNum committed_ = kNoSeq;
+
+  // Extraction cursor: everything <= handed_out_ was already returned.
+  std::pair<SeqNum, crypto::Digest> cursor_{kNoSeq, crypto::kZeroDigest};
+  SeqNum handed_out_watermark_ = kNoSeq;
+
+  std::vector<AcceptedEntry> delta_buffer_;
+  std::uint64_t late_accepts_ = 0;
+};
+
+/// min over the 2f+1 highest entries of `values` (Alg. 4 lines 83-85);
+/// kNoSeq when fewer than 2f+1 entries are known. Exposed for unit tests.
+SeqNum quorum_low_watermark(const std::vector<SeqNum>& values,
+                            std::size_t quorum);
+
+}  // namespace lyra::core

@@ -1,0 +1,30 @@
+#include "net/adversary.hpp"
+
+namespace lyra::net {
+
+TimeNs PreGstDelayAdversary::delay(const sim::Envelope& env,
+                                   TimeNs base_delay, Rng& rng) {
+  if (env.sent_at >= gst_) return base_delay;
+  const TimeNs extra =
+      max_extra_ > 0
+          ? static_cast<TimeNs>(rng.next_below(
+                static_cast<std::uint64_t>(max_extra_)))
+          : 0;
+  // After GST the network is synchronous, so even a pre-GST message is
+  // delivered by GST + (its synchronous delay) at the latest: cap the total
+  // delay so delivery never exceeds gst_ + base_delay.
+  const TimeNs capped =
+      std::min(base_delay + extra, gst_ + base_delay - env.sent_at);
+  return std::max(base_delay, capped);
+}
+
+TimeNs TargetedDelayAdversary::delay(const sim::Envelope& env,
+                                     TimeNs base_delay, Rng& /*rng*/) {
+  if (env.sent_at >= gst_) return base_delay;
+  if (env.from != victim_ && env.to != victim_) return base_delay;
+  const TimeNs capped =
+      std::min(base_delay + extra_, gst_ + base_delay - env.sent_at);
+  return std::max(base_delay, capped);
+}
+
+}  // namespace lyra::net

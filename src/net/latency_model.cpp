@@ -1,0 +1,67 @@
+#include "net/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace lyra::net {
+
+namespace {
+/// Mean-preserving log-normal multiplier.
+TimeNs with_jitter(TimeNs base, double sigma, Rng& rng) {
+  if (sigma <= 0.0) return base;
+  const double factor =
+      std::exp(sigma * rng.next_gaussian() - sigma * sigma / 2.0);
+  return static_cast<TimeNs>(static_cast<double>(base) * factor);
+}
+}  // namespace
+
+UniformLatency::UniformLatency(TimeNs base, double jitter_sigma,
+                               TimeNs loopback)
+    : base_(base), jitter_sigma_(jitter_sigma), loopback_(loopback) {}
+
+TimeNs UniformLatency::sample(NodeId from, NodeId to, Rng& rng) const {
+  if (from == to) return loopback_;
+  return std::max<TimeNs>(loopback_, with_jitter(base_, jitter_sigma_, rng));
+}
+
+TimeNs UniformLatency::base(NodeId from, NodeId to) const {
+  return from == to ? loopback_ : base_;
+}
+
+MatrixLatency::MatrixLatency(std::vector<std::vector<TimeNs>> base_matrix,
+                             double jitter_sigma, TimeNs loopback)
+    : base_(std::move(base_matrix)),
+      jitter_sigma_(jitter_sigma),
+      loopback_(loopback) {
+  LYRA_ASSERT(!base_.empty(), "latency matrix must not be empty");
+  for (const auto& row : base_) {
+    LYRA_ASSERT(row.size() == base_.size(), "latency matrix must be square");
+  }
+}
+
+TimeNs MatrixLatency::sample(NodeId from, NodeId to, Rng& rng) const {
+  if (from == to) return loopback_;
+  LYRA_ASSERT(from < base_.size() && to < base_.size(),
+              "node id outside latency matrix");
+  return std::max<TimeNs>(loopback_,
+                          with_jitter(base_[from][to], jitter_sigma_, rng));
+}
+
+TimeNs MatrixLatency::base(NodeId from, NodeId to) const {
+  if (from == to) return loopback_;
+  LYRA_ASSERT(from < base_.size() && to < base_.size(),
+              "node id outside latency matrix");
+  return base_[from][to];
+}
+
+TimeNs MatrixLatency::max_base() const {
+  TimeNs max = 0;
+  for (const auto& row : base_) {
+    for (TimeNs v : row) max = std::max(max, v);
+  }
+  return max;
+}
+
+}  // namespace lyra::net

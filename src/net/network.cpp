@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include "support/assert.hpp"
+
+namespace lyra::net {
+
+Network::Network(sim::Simulation* sim, std::unique_ptr<LatencyModel> latency,
+                 std::size_t consensus_count)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      consensus_count_(consensus_count) {
+  LYRA_ASSERT(sim_ != nullptr, "network needs a simulation");
+  LYRA_ASSERT(latency_ != nullptr, "network needs a latency model");
+}
+
+void Network::attach(sim::Process* process) {
+  LYRA_ASSERT(process != nullptr, "cannot attach a null process");
+  const NodeId id = process->id();
+  if (processes_.size() <= id) processes_.resize(id + 1, nullptr);
+  LYRA_ASSERT(processes_[id] == nullptr, "duplicate process id");
+  processes_[id] = process;
+}
+
+TimeNs Network::nic_book(NodeId from, std::uint64_t bytes) {
+  if (bandwidth_ <= 0.0) return 0;
+  if (nic_floor_.size() <= from) nic_floor_.resize(from + 1, 0);
+  const auto serialize = static_cast<TimeNs>(
+      static_cast<double>(bytes) / bandwidth_ *
+      static_cast<double>(kNsPerSec));
+  const TimeNs depart = std::max(sim_->now(), nic_floor_[from]) + serialize;
+  nic_floor_[from] = depart;
+  return depart - sim_->now();
+}
+
+void Network::deliver_one(NodeId from, NodeId to, sim::PayloadPtr payload,
+                          TimeNs egress_delay) {
+  LYRA_ASSERT(to < processes_.size() && processes_[to] != nullptr,
+              "send to unknown process");
+  sim::Envelope env;
+  env.from = from;
+  env.to = to;
+  env.sent_at = sim_->now();
+  env.payload = std::move(payload);
+
+  TimeNs delay = latency_->sample(from, to, sim_->rng());
+  if (adversary_ != nullptr) {
+    delay = adversary_->delay(env, delay, sim_->rng());
+  }
+  LYRA_ASSERT(delay >= 0, "negative message delay");
+  delay += egress_delay;
+
+  // FIFO channel: a message never overtakes an earlier one on the same
+  // directed pair.
+  const std::uint64_t channel =
+      (static_cast<std::uint64_t>(from) << 32) | to;
+  TimeNs& floor = channel_floor_[channel];
+  const TimeNs deliver_at = std::max(sim_->now() + delay, floor);
+  floor = deliver_at;
+  delay = deliver_at - sim_->now();
+
+  ++messages_delivered_;
+  sim_->schedule_delivery_in(delay, processes_[to], std::move(env));
+}
+
+void Network::send(NodeId from, NodeId to, sim::PayloadPtr payload) {
+  const TimeNs egress = nic_book(from, payload->wire_size());
+  deliver_one(from, to, std::move(payload), egress);
+}
+
+void Network::send_all(NodeId from, sim::PayloadPtr payload) {
+  // One NIC booking for the whole fan-out: every copy departs when the
+  // broadcast finishes serializing, as fair packet interleaving across
+  // flows produces in practice.
+  const TimeNs egress =
+      nic_book(from, payload->wire_size() *
+                         static_cast<std::uint64_t>(consensus_count_));
+  for (NodeId to = 0; to < consensus_count_; ++to) {
+    deliver_one(from, to, payload, egress);
+  }
+}
+
+TimeNs Network::nic_backlog(NodeId from) const {
+  if (from >= nic_floor_.size()) return 0;
+  const TimeNs floor = nic_floor_[from];
+  return floor > sim_->now() ? floor - sim_->now() : 0;
+}
+
+}  // namespace lyra::net

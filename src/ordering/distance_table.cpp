@@ -1,0 +1,59 @@
+#include "ordering/distance_table.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace lyra::ordering {
+
+DistanceTable::DistanceTable(std::size_t n, double alpha)
+    : alpha_(alpha), estimate_(n, 0.0), observed_(n, false) {
+  LYRA_ASSERT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void DistanceTable::observe(NodeId j, SeqNum distance) {
+  LYRA_ASSERT(j < estimate_.size(), "peer id out of range");
+  if (!observed_[j]) {
+    observed_[j] = true;
+    ++observed_count_;
+    estimate_[j] = static_cast<double>(distance);
+    return;
+  }
+  estimate_[j] = (1.0 - alpha_) * estimate_[j] +
+                 alpha_ * static_cast<double>(distance);
+}
+
+SeqNum DistanceTable::distance(NodeId j) const {
+  LYRA_ASSERT(j < estimate_.size(), "peer id out of range");
+  if (!observed_[j]) return kNoSeq;
+  return static_cast<SeqNum>(estimate_[j]);
+}
+
+std::vector<SeqNum> DistanceTable::predict(SeqNum s_ref) const {
+  SeqNum max_known = 0;
+  for (std::size_t j = 0; j < estimate_.size(); ++j) {
+    if (observed_[j]) {
+      max_known = std::max(max_known, static_cast<SeqNum>(estimate_[j]));
+    }
+  }
+  std::vector<SeqNum> predictions(estimate_.size());
+  for (std::size_t j = 0; j < estimate_.size(); ++j) {
+    predictions[j] =
+        s_ref + (observed_[j] ? static_cast<SeqNum>(estimate_[j]) : max_known);
+  }
+  return predictions;
+}
+
+SeqNum DistanceTable::requested_seq(const std::vector<SeqNum>& predictions,
+                                    std::size_t f) {
+  LYRA_ASSERT(!predictions.empty() && predictions.size() > f,
+              "need n > f predictions");
+  std::vector<SeqNum> sorted = predictions;
+  std::sort(sorted.begin(), sorted.end());
+  // (n-f)-th smallest, 1-indexed: at most f predictions are larger, so the
+  // requested value is covered by at least f+1 correct perceptions
+  // (Lemma 2).
+  return sorted[sorted.size() - f - 1];
+}
+
+}  // namespace lyra::ordering

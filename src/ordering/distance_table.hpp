@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lyra::ordering {
+
+/// The array D_i = {d_ij} of paper §IV-B1: node i's estimate of the
+/// sequence-number distance to every other node, i.e. how much later (in
+/// receiver-clock units) node j perceives a transaction that i broadcasts.
+/// d_ij = seq_j(t) - s_ref folds together the one-way network delay and the
+/// clock offset between i and j.
+///
+/// Estimates are learned from piggybacked perceived sequence numbers
+/// (probes during warm-up, VOTE messages afterwards) and smoothed with an
+/// exponential moving average to ride out jitter.
+class DistanceTable {
+ public:
+  DistanceTable(std::size_t n, double alpha);
+
+  /// Records one observation of d_ij.
+  void observe(NodeId j, SeqNum distance);
+
+  /// Current smoothed estimate; kNoSeq while j was never observed.
+  SeqNum distance(NodeId j) const;
+
+  bool has(NodeId j) const { return observed_[j]; }
+
+  /// Number of peers with at least one observation.
+  std::size_t observed_count() const { return observed_count_; }
+
+  /// Ready once at least `quorum` peers have been observed (n - f suffices:
+  /// Byzantine peers may never answer probes).
+  bool ready(std::size_t quorum) const { return observed_count_ >= quorum; }
+
+  /// The prediction set S_t = {s_ref + d_ij} (paper §IV-B1). Peers without
+  /// an estimate ("blank values" from silent Byzantine processes) are
+  /// filled with the largest known distance, the conservative choice: it
+  /// can only push the requested sequence number down, never inflate it.
+  std::vector<SeqNum> predict(SeqNum s_ref) const;
+
+  /// The requested sequence number: the (n-f)-th smallest value of S_t
+  /// (1-indexed, paper §IV-B1), leaving at most f predictions above it.
+  static SeqNum requested_seq(const std::vector<SeqNum>& predictions,
+                              std::size_t f);
+
+ private:
+  double alpha_;
+  std::vector<double> estimate_;
+  std::vector<bool> observed_;
+  std::size_t observed_count_ = 0;
+};
+
+}  // namespace lyra::ordering

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sim/simulation.hpp"
+#include "support/types.hpp"
+
+namespace lyra::ordering {
+
+/// A process's local ordering clock (paper §II-D): strictly monotone
+/// sequence numbers implemented with the node's real-time clock. The paper
+/// assumes *no* synchronization between clocks, so each node carries a
+/// constant offset from simulated real time; the distance table absorbs
+/// offsets together with propagation delay (d_ij includes "the offset
+/// between any two clocks", §IV-B1).
+class OrderingClock {
+ public:
+  OrderingClock(const sim::Simulation* sim, TimeNs offset)
+      : sim_(sim), offset_(offset) {}
+
+  /// Current sequence number: this node's perception of time.
+  SeqNum now() const { return sim_->now() + offset_; }
+
+  TimeNs offset() const { return offset_; }
+
+ private:
+  const sim::Simulation* sim_;
+  TimeNs offset_;
+};
+
+}  // namespace lyra::ordering

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "sim/message.hpp"
+#include "support/bytes.hpp"
+#include "support/types.hpp"
+
+namespace lyra::pompe {
+
+using sim::MsgKind;
+
+/// Phase-1 ordering request (Pompē [32]): the proposer broadcasts its batch
+/// in the clear and asks every process for a signed timestamp. The clear
+/// payload is exactly what the Fig. 1 front-running attack reads.
+struct TsRequestMsg final : sim::Payload {
+  crypto::Digest batch_digest{};
+  NodeId proposer = kNoNode;
+  std::uint32_t tx_count = 0;
+  std::uint64_t nominal_bytes = 0;
+  Bytes payload;  // transactions in the clear
+
+  const char* name() const override { return "TS_REQUEST"; }
+  MsgKind kind() const override { return MsgKind::kTsRequest; }
+  std::size_t wire_size() const override { return 120 + nominal_bytes; }
+};
+
+/// A process's signed timestamp for one batch.
+struct TsReplyMsg final : sim::Payload {
+  crypto::Digest batch_digest{};
+  SeqNum ts = kNoSeq;
+  crypto::Signature sig;  // over (batch_digest, ts)
+
+  const char* name() const override { return "TS_REPLY"; }
+  MsgKind kind() const override { return MsgKind::kTsReply; }
+  std::size_t wire_size() const override { return 120; }
+};
+
+/// One signed timestamp inside a sequencing proof.
+struct SignedTs {
+  SeqNum ts = kNoSeq;
+  crypto::Signature sig;
+};
+
+/// Phase-2 announcement: the batch was assigned the median of 2f+1 signed
+/// timestamps; the proof carries all of them. Every process verifies every
+/// timestamp — the quadratic signature-verification load Lyra's evaluation
+/// calls out (§VI-C).
+struct SequenceMsg final : sim::Payload {
+  crypto::Digest batch_digest{};
+  NodeId proposer = kNoNode;
+  SeqNum assigned_ts = kNoSeq;
+  std::uint32_t tx_count = 0;
+  std::uint64_t nominal_bytes = 0;
+  std::vector<SignedTs> proof;
+
+  const char* name() const override { return "SEQUENCE"; }
+  MsgKind kind() const override { return MsgKind::kSequence; }
+  std::size_t wire_size() const override { return 120 + proof.size() * 72; }
+};
+
+}  // namespace lyra::pompe

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include "sim/process.hpp"
+#include "support/assert.hpp"
+
+namespace lyra::sim {
+
+std::uint64_t EventQueue::schedule_at(TimeNs at, Callback fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{at, id, std::move(fn), nullptr, Envelope{}});
+  return id;
+}
+
+void EventQueue::schedule_delivery(TimeNs at, Process* dest, Envelope env) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{at, id, Callback{}, dest, std::move(env)});
+}
+
+void EventQueue::cancel(std::uint64_t id) {
+  if (id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+TimeNs EventQueue::next_time() const {
+  drop_dead();
+  return heap_.empty() ? kNoSeq : heap_.top().at;
+}
+
+TimeNs EventQueue::run_next() {
+  drop_dead();
+  LYRA_ASSERT(!heap_.empty(), "run_next on empty queue");
+  // Move the event out before popping: running it may schedule more.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  if (ev.dest != nullptr) {
+    ev.env.delivered_at = ev.at;
+    ev.dest->deliver(std::move(ev.env));
+  } else {
+    ev.fn();
+  }
+  return ev.at;
+}
+
+}  // namespace lyra::sim

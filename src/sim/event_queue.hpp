@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "support/types.hpp"
+
+namespace lyra::sim {
+
+class Process;
+
+/// Deterministic discrete-event queue. Events at equal times fire in
+/// insertion order (a monotone sequence number breaks ties), so a run is a
+/// pure function of the initial seed and configuration.
+///
+/// Two event flavours: generic callbacks (timers; rare) and message
+/// deliveries (the hot path at ~10M/s for n = 100 clusters). Deliveries
+/// carry their Envelope inline so no std::function allocation happens per
+/// message.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Returns an id usable by cancel().
+  std::uint64_t schedule_at(TimeNs at, Callback fn);
+
+  /// Schedules the delivery of `env` to `dest` at `at` (not cancellable).
+  void schedule_delivery(TimeNs at, Process* dest, Envelope env);
+
+  /// Cancels a scheduled callback event. Cancelling an already-fired or
+  /// unknown id is a harmless no-op.
+  void cancel(std::uint64_t id);
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() const;
+
+  /// Time of the next live event; kNoSeq if empty.
+  TimeNs next_time() const;
+
+  /// Pops and runs the next live event; returns its time.
+  /// Must not be called on an empty queue.
+  TimeNs run_next();
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t id;
+    Callback fn;     // empty for deliveries
+    Process* dest = nullptr;
+    Envelope env;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  /// Discards cancelled events sitting at the front of the heap.
+  void drop_dead() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace lyra::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+
+#include "support/types.hpp"
+
+namespace lyra::sim {
+
+/// Message-kind tags for constant-time dispatch (one range per module so
+/// protocol libraries stay independent). dynamic_cast chains on the hot
+/// path cost more than the handlers themselves at n = 100.
+enum class MsgKind : std::uint16_t {
+  kOther = 0,
+  // lyra::core — 1xx
+  kInit = 100,
+  kVote,
+  kDeliver,
+  kEst,
+  kCoord,
+  kAux,
+  kShares,
+  kHeartbeat,
+  kProbe,
+  kProbeReply,
+  kReqInit,
+  kInitRelay,
+  kSubmit,
+  kCommitNotify,
+  // hotstuff — 2xx
+  kHsProposal = 200,
+  kHsVote,
+  kHsNewView,
+  // pompe — 3xx
+  kTsRequest = 300,
+  kTsReply,
+  kSequence,
+};
+
+/// Base class of every protocol message payload. Payloads are immutable
+/// once sent (shared between sender and receivers), which models the
+/// authenticated reliable channels of the paper: a message cannot be
+/// tampered with in flight.
+struct Payload {
+  virtual ~Payload() = default;
+
+  /// Message-type name for traces.
+  virtual const char* name() const = 0;
+
+  /// Dispatch tag; kOther falls back to dynamic_cast-based handling.
+  virtual MsgKind kind() const { return MsgKind::kOther; }
+
+  /// Estimated serialized size in bytes, used for bandwidth accounting and
+  /// per-byte CPU costs. Subclasses with large bodies override this.
+  virtual std::size_t wire_size() const { return 64; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// A message in flight or delivered.
+struct Envelope {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  TimeNs sent_at = 0;
+  TimeNs delivered_at = 0;
+  PayloadPtr payload;
+};
+
+/// Typed payload accessor; returns nullptr when the payload is of a
+/// different type.
+template <class T>
+const T* payload_as(const Envelope& env) {
+  return dynamic_cast<const T*>(env.payload.get());
+}
+
+}  // namespace lyra::sim

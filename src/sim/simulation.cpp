@@ -1,0 +1,32 @@
+#include "sim/simulation.hpp"
+
+#include "support/assert.hpp"
+
+namespace lyra::sim {
+
+std::uint64_t Simulation::run_until(TimeNs deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    const TimeNs next = queue_.next_time();
+    if (next > deadline) break;
+    now_ = next;
+    queue_.run_next();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::uint64_t Simulation::run_all(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    LYRA_ASSERT(executed < max_events,
+                "event budget exhausted: livelock or unbounded protocol");
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace lyra::sim

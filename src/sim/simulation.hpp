@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/message.hpp"
+#include "sim/trace.hpp"
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace lyra::sim {
+
+/// Discrete-event simulation driver: a virtual clock, the event queue, the
+/// root RNG, and the trace sink. One Simulation instance per experiment run;
+/// all protocol components hold a pointer to it.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  std::uint64_t schedule_in(TimeNs delay, EventQueue::Callback fn) {
+    return queue_.schedule_at(now_ + delay, std::move(fn));
+  }
+
+  std::uint64_t schedule_at(TimeNs at, EventQueue::Callback fn) {
+    return queue_.schedule_at(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  void cancel(std::uint64_t event_id) { queue_.cancel(event_id); }
+
+  /// Message-delivery fast path: no callback allocation per message.
+  void schedule_delivery_in(TimeNs delay, Process* dest, Envelope env) {
+    queue_.schedule_delivery(now_ + delay, dest, std::move(env));
+  }
+
+  /// Runs events until the queue drains or the clock passes `deadline`.
+  /// Events scheduled at exactly `deadline` still run. Returns the number
+  /// of events executed.
+  std::uint64_t run_until(TimeNs deadline);
+
+  /// Runs until the queue drains; `max_events` guards against protocol
+  /// livelock in tests.
+  std::uint64_t run_all(std::uint64_t max_events = 500'000'000);
+
+  Rng& rng() { return rng_; }
+  Trace& trace() { return trace_; }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  Rng rng_;
+  Trace trace_;
+};
+
+}  // namespace lyra::sim

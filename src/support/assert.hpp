@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant checks. Protocol code runs inside a deterministic
+/// simulation, so an invariant violation is a logic bug: abort loudly with
+/// the location instead of continuing with corrupted protocol state.
+#define LYRA_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LYRA_ASSERT failed at %s:%d: %s\n  %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace lyra {
+
+/// Raw byte buffer used for transaction payloads, ciphertexts, and digests.
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string_view as_string_view(BytesView b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Append helpers used when serializing values into hash inputs.
+inline void append(Bytes& out, BytesView more) {
+  out.insert(out.end(), more.begin(), more.end());
+}
+
+inline void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void append_i64(Bytes& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void append_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace lyra

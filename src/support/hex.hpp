@@ -1,0 +1,16 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace lyra {
+
+/// Lower-case hex encoding of a byte buffer.
+std::string to_hex(BytesView bytes);
+
+/// Decode a hex string; returns std::nullopt on odd length or non-hex chars.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace lyra

@@ -1,0 +1,88 @@
+#include "support/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+
+namespace lyra {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro256** must not be seeded with all zeros; SplitMix64 never
+  // produces four consecutive zero outputs.
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  LYRA_ASSERT(bound > 0, "next_below requires a positive bound");
+  // Rejection sampling: retry while the draw falls in the biased tail.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
+  LYRA_ASSERT(lo <= hi, "next_in_range requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64()
+                                                  : next_below(span));
+}
+
+double Rng::next_gaussian() {
+  // Box-Muller; u1 is nudged away from 0 so log() stays finite.
+  const double u1 = next_double() + 0x1.0p-60;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::next_lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * next_gaussian());
+}
+
+double Rng::next_exponential(double mean) {
+  const double u = next_double() + 0x1.0p-60;
+  return -mean * std::log(u);
+}
+
+bool Rng::next_bernoulli(double p) { return next_double() < p; }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace lyra

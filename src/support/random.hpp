@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lyra {
+
+/// Deterministic PRNG (xoshiro256**) seeded via SplitMix64.
+///
+/// Every source of randomness in a run flows from one root Rng through
+/// split(), so a run is reproducible from a single seed. We do not use
+/// <random> engines because their streams are unspecified across standard
+/// library implementations; reproducibility across toolchains matters for
+/// the experiment harness.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double next_gaussian();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean.
+  double next_exponential(double mean);
+
+  /// True with probability p.
+  bool next_bernoulli(double p);
+
+  /// Derive an independent child stream. The child is seeded from this
+  /// stream, so split order matters and is part of the run's determinism.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace lyra

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace lyra {
+
+/// Identifier of a process (consensus node or client) in the simulation.
+/// Processes are numbered densely from 0; consensus nodes come first.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated time in nanoseconds since the start of the run.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs ms(double v) { return static_cast<TimeNs>(v * kNsPerMs); }
+constexpr TimeNs us(double v) { return static_cast<TimeNs>(v * kNsPerUs); }
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+
+/// Sequence numbers produced by ordering clocks (paper §II-D). Lyra
+/// implements the ordering clock with the node's real-time clock, so a
+/// sequence number is a simulated timestamp in nanoseconds.
+using SeqNum = std::int64_t;
+
+constexpr SeqNum kNoSeq = std::numeric_limits<SeqNum>::min();
+constexpr SeqNum kMaxSeq = std::numeric_limits<SeqNum>::max();
+
+/// Round number inside a binary-consensus instance.
+using Round = std::uint32_t;
+
+/// Identifies one consensus instance: (proposer, proposer-local index).
+struct InstanceId {
+  NodeId proposer = kNoNode;
+  std::uint64_t index = 0;
+
+  friend bool operator==(const InstanceId&, const InstanceId&) = default;
+  friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
+};
+
+}  // namespace lyra
+
+template <>
+struct std::hash<lyra::InstanceId> {
+  std::size_t operator()(const lyra::InstanceId& id) const noexcept {
+    // Proposer ids are small; fold them into the high bits of the index.
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.proposer) << 48) ^ id.index);
+  }
+};

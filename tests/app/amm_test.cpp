@@ -1,0 +1,85 @@
+#include "app/amm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::app {
+namespace {
+
+TEST(Amm, BuyMovesPriceUp) {
+  Amm amm(1000.0, 1000.0, 0.0);
+  const double p0 = amm.price();
+  const double got = amm.buy_base(100.0);
+  EXPECT_GT(got, 0.0);
+  EXPECT_LT(got, 100.0);  // slippage: can't beat the marginal price
+  EXPECT_GT(amm.price(), p0);
+}
+
+TEST(Amm, SellMovesPriceDown) {
+  Amm amm(1000.0, 1000.0, 0.0);
+  const double p0 = amm.price();
+  amm.sell_base(100.0);
+  EXPECT_LT(amm.price(), p0);
+}
+
+TEST(Amm, ConstantProductInvariantWithoutFee) {
+  Amm amm(1000.0, 2000.0, 0.0);
+  const double k0 = amm.reserve_base() * amm.reserve_quote();
+  amm.buy_base(321.0);
+  amm.sell_base(17.0);
+  EXPECT_NEAR(amm.reserve_base() * amm.reserve_quote(), k0, k0 * 1e-9);
+}
+
+TEST(Amm, FeeAccruesToPool) {
+  Amm amm(1000.0, 1000.0, 30.0);
+  const double k0 = amm.reserve_base() * amm.reserve_quote();
+  amm.buy_base(500.0);
+  EXPECT_GT(amm.reserve_base() * amm.reserve_quote(), k0);
+}
+
+TEST(Amm, RoundTripWithoutVictimLosesToFees) {
+  Amm amm(1000.0, 1000.0, 30.0);
+  const double base = amm.buy_base(100.0);
+  const double back = amm.sell_base(base);
+  EXPECT_LT(back, 100.0);
+}
+
+TEST(Sandwich, FrontRunProfitsAttacker) {
+  Amm amm(10'000.0, 10'000.0, 30.0);
+  const auto r = execute_sandwich(amm, /*victim_quote=*/1'000.0,
+                                  /*attack_quote=*/500.0,
+                                  /*attacker_goes_first=*/true);
+  EXPECT_GT(r.attacker_profit, 0.0);
+}
+
+TEST(Sandwich, FailedFrontRunLosesMoney) {
+  Amm amm(10'000.0, 10'000.0, 30.0);
+  const auto r = execute_sandwich(amm, 1'000.0, 500.0,
+                                  /*attacker_goes_first=*/false);
+  EXPECT_LT(r.attacker_profit, 0.0);
+}
+
+TEST(Sandwich, VictimGetsWorsePriceWhenFrontRun) {
+  Amm a(10'000.0, 10'000.0, 30.0);
+  Amm b(10'000.0, 10'000.0, 30.0);
+  const auto front_run = execute_sandwich(a, 1'000.0, 500.0, true);
+  const auto fair = execute_sandwich(b, 1'000.0, 500.0, false);
+  EXPECT_LT(front_run.victim_base_received, fair.victim_base_received);
+}
+
+class SandwichSizes : public ::testing::TestWithParam<double> {};
+
+TEST_P(SandwichSizes, ProfitMonotoneInVictimSize) {
+  // The attacker's edge grows with the victim's price impact.
+  const double victim = GetParam();
+  Amm small(100'000.0, 100'000.0, 30.0);
+  Amm large(100'000.0, 100'000.0, 30.0);
+  const auto p_small = execute_sandwich(small, victim, 1'000.0, true);
+  const auto p_large = execute_sandwich(large, victim * 2, 1'000.0, true);
+  EXPECT_GT(p_large.attacker_profit, p_small.attacker_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SandwichSizes,
+                         ::testing::Values(1'000.0, 5'000.0, 20'000.0));
+
+}  // namespace
+}  // namespace lyra::app

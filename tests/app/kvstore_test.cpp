@@ -1,0 +1,50 @@
+#include "app/kvstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::app {
+namespace {
+
+TEST(KvStore, PutGetRoundTrip) {
+  KvStore kv;
+  kv.put("alice", to_bytes("100"));
+  const auto v = kv.get("alice");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, to_bytes("100"));
+  EXPECT_FALSE(kv.get("bob").has_value());
+}
+
+TEST(KvStore, OverwriteChangesValueAndDigest) {
+  KvStore kv;
+  kv.put("k", to_bytes("v1"));
+  const auto d1 = kv.state_digest();
+  kv.put("k", to_bytes("v2"));
+  EXPECT_EQ(*kv.get("k"), to_bytes("v2"));
+  EXPECT_NE(kv.state_digest(), d1);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, DigestIsOrderSensitive) {
+  KvStore a;
+  a.put("x", to_bytes("1"));
+  a.put("y", to_bytes("2"));
+  KvStore b;
+  b.put("y", to_bytes("2"));
+  b.put("x", to_bytes("1"));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStore, ReplicasConvergeOnSameSequence) {
+  KvStore a;
+  KvStore b;
+  for (int i = 0; i < 50; ++i) {
+    Bytes payload = to_bytes("batch-" + std::to_string(i));
+    a.ingest_batch(payload);
+    b.ingest_batch(payload);
+  }
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.batches_ingested(), 50u);
+}
+
+}  // namespace
+}  // namespace lyra::app

@@ -1,0 +1,65 @@
+#include "client/client_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/lyra_cluster.hpp"
+
+namespace lyra {
+namespace {
+
+harness::LyraClusterOptions pool_options(std::uint64_t seed) {
+  harness::LyraClusterOptions opts;
+  opts.config.n = 4;
+  opts.config.f = 1;
+  opts.config.delta = ms(2);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 10;
+  opts.config.batch_timeout = ms(5);
+  opts.config.commit_poll = ms(1);
+  opts.config.probe_period = ms(3);
+  opts.topology = net::single_region(5);  // extra slot for the pool
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(ClientPool, ClosedLoopKeepsWidthInFlight) {
+  harness::LyraCluster cluster(pool_options(1));
+  auto& pool = cluster.add_client_pool(/*target=*/0, /*width=*/30,
+                                       /*start_at=*/ms(40),
+                                       /*measure_from=*/ms(100),
+                                       /*measure_to=*/ms(800));
+  cluster.start();
+  cluster.run_for(ms(900));
+
+  // Committed total must be a multiple of the loop dynamics: every commit
+  // notification re-submits exactly as many transactions.
+  EXPECT_GT(pool.committed_total(), 30u);
+  EXPECT_EQ(pool.committed_total() % 10, 0u);  // batches of 10
+}
+
+TEST(ClientPool, MeasurementWindowFiltersSamples) {
+  harness::LyraCluster cluster(pool_options(2));
+  auto& pool = cluster.add_client_pool(0, 20, ms(40), ms(5000), ms(6000));
+  cluster.start();
+  cluster.run_for(ms(900));
+
+  // Commits happen, but all before the measurement window opens.
+  EXPECT_GT(pool.committed_total(), 0u);
+  EXPECT_EQ(pool.committed_in_window(), 0u);
+  EXPECT_EQ(pool.latency_ms().count(), 0u);
+}
+
+TEST(ClientPool, LatencyIsPositiveAndBoundedByRun) {
+  harness::LyraCluster cluster(pool_options(3));
+  auto& pool = cluster.add_client_pool(0, 20, ms(40), ms(60), ms(900));
+  cluster.start();
+  cluster.run_for(ms(900));
+
+  ASSERT_GT(pool.latency_ms().count(), 0u);
+  EXPECT_GT(pool.latency_ms().min(), 0.0);
+  EXPECT_LT(pool.latency_ms().max(), 900.0);
+  EXPECT_GT(pool.weighted_mean_latency_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace lyra

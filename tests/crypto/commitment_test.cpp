@@ -1,0 +1,48 @@
+#include "crypto/commitment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::crypto {
+namespace {
+
+TEST(Commitment, OpenVerifies) {
+  Rng rng(1);
+  CommitmentOpening opening;
+  const Commitment c = commit(to_bytes("bid: 42"), rng, opening);
+  EXPECT_TRUE(verify_opening(c, opening));
+}
+
+TEST(Commitment, TamperedMessageFails) {
+  Rng rng(2);
+  CommitmentOpening opening;
+  const Commitment c = commit(to_bytes("bid: 42"), rng, opening);
+  opening.message = to_bytes("bid: 43");
+  EXPECT_FALSE(verify_opening(c, opening));
+}
+
+TEST(Commitment, TamperedBlindingFails) {
+  Rng rng(3);
+  CommitmentOpening opening;
+  const Commitment c = commit(to_bytes("bid: 42"), rng, opening);
+  opening.blinding[0] ^= 1;
+  EXPECT_FALSE(verify_opening(c, opening));
+}
+
+TEST(Commitment, SameMessageFreshBlindingHides) {
+  Rng rng(4);
+  CommitmentOpening o1;
+  CommitmentOpening o2;
+  const Commitment c1 = commit(to_bytes("same"), rng, o1);
+  const Commitment c2 = commit(to_bytes("same"), rng, o2);
+  EXPECT_NE(c1, c2);  // commitments do not leak message equality
+}
+
+TEST(Commitment, EmptyMessageSupported) {
+  Rng rng(5);
+  CommitmentOpening opening;
+  const Commitment c = commit(Bytes{}, rng, opening);
+  EXPECT_TRUE(verify_opening(c, opening));
+}
+
+}  // namespace
+}  // namespace lyra::crypto

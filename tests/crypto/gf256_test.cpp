@@ -1,0 +1,88 @@
+#include "crypto/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::crypto {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(Gf256::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(Gf256::add(0, 0xff), 0xff);
+  EXPECT_EQ(Gf256::sub(0x53, 0xca), Gf256::add(0x53, 0xca));
+}
+
+TEST(Gf256, KnownProduct) {
+  // Classic AES example: 0x53 * 0xca = 0x01.
+  EXPECT_EQ(Gf256::mul(0x53, 0xca), 0x01);
+  EXPECT_EQ(Gf256::mul(0x57, 0x83), 0xc1);
+}
+
+TEST(Gf256, TableMatchesBitwiseMultiplication) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(Gf256::mul(static_cast<std::uint8_t>(a),
+                           static_cast<std::uint8_t>(b)),
+                Gf256::mul_slow(static_cast<std::uint8_t>(a),
+                                static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(Gf256::mul(x, 0), 0);
+    EXPECT_EQ(Gf256::mul(0, x), 0);
+    EXPECT_EQ(Gf256::mul(x, 1), x);
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(Gf256::mul(x, Gf256::inv(x)), 1) << "a = " << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(Gf256::div(Gf256::mul(x, y), y), x);
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationIsCommutativeAndAssociative) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 1; b < 256; b += 17) {
+      for (int c = 1; c < 256; c += 19) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(Gf256::mul(x, y), Gf256::mul(y, x));
+        EXPECT_EQ(Gf256::mul(Gf256::mul(x, y), z),
+                  Gf256::mul(x, Gf256::mul(y, z)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 0; b < 256; b += 9) {
+      for (int c = 0; c < 256; c += 23) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(Gf256::mul(x, Gf256::add(y, z)),
+                  Gf256::add(Gf256::mul(x, y), Gf256::mul(x, z)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lyra::crypto

@@ -1,0 +1,53 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+#include "support/hex.hpp"
+
+namespace lyra::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes msg = to_bytes("Hi There");
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes("Jefe");
+  const Bytes msg = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes msg = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  const Bytes msg = to_bytes("message");
+  EXPECT_NE(hmac_sha256(to_bytes("key1"), msg),
+            hmac_sha256(to_bytes("key2"), msg));
+}
+
+TEST(Hmac, DifferentMessagesDifferentMacs) {
+  const Bytes key = to_bytes("key");
+  EXPECT_NE(hmac_sha256(key, to_bytes("m1")),
+            hmac_sha256(key, to_bytes("m2")));
+}
+
+}  // namespace
+}  // namespace lyra::crypto

@@ -1,0 +1,104 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace lyra::crypto {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t count) {
+  std::vector<Digest> leaves;
+  leaves.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Bytes data;
+    append_u64(data, i);
+    leaves.push_back(Sha256::hash(data));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  const MerkleTree tree({});
+  EXPECT_EQ(tree.root(), kZeroDigest);
+}
+
+TEST(Merkle, SingleLeafRootIsHashedLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::hash_leaf(leaves[0]));
+}
+
+TEST(Merkle, TwoLeafRoot) {
+  const auto leaves = make_leaves(2);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(),
+            MerkleTree::hash_node(MerkleTree::hash_leaf(leaves[0]),
+                                  MerkleTree::hash_leaf(leaves[1])));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Digest original = MerkleTree(leaves).root();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i][0] ^= 1;
+    EXPECT_NE(MerkleTree(mutated).root(), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootIsOrderSensitive) {
+  auto leaves = make_leaves(4);
+  const Digest original = MerkleTree(leaves).root();
+  std::swap(leaves[1], leaves[2]);
+  EXPECT_NE(MerkleTree(leaves).root(), original);
+}
+
+TEST(Merkle, LeafAndNodeDomainsAreSeparated) {
+  // A single leaf equal to hash_node(a, b) must not produce the same root
+  // as a two-leaf tree of (a, b).
+  const auto leaves = make_leaves(2);
+  const Digest combined = MerkleTree::hash_node(
+      MerkleTree::hash_leaf(leaves[0]), MerkleTree::hash_leaf(leaves[1]));
+  const MerkleTree two(leaves);
+  const MerkleTree one({combined});
+  EXPECT_NE(one.root(), two.root());
+}
+
+class MerkleProofSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSizes, EveryLeafProves) {
+  const std::size_t count = GetParam();
+  const auto leaves = make_leaves(count);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < count; ++i) {
+    const MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], i, proof, tree.root()))
+        << "leaf " << i << " of " << count;
+  }
+}
+
+TEST_P(MerkleProofSizes, WrongLeafFailsProof) {
+  const std::size_t count = GetParam();
+  const auto leaves = make_leaves(count);
+  const MerkleTree tree(leaves);
+  Digest wrong = leaves[0];
+  wrong[5] ^= 0x42;
+  EXPECT_FALSE(MerkleTree::verify(wrong, 0, tree.prove(0), tree.root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
+                                           17, 100, 255, 256, 801));
+
+TEST(Merkle, ProofAgainstWrongRootFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  Digest wrong_root = tree.root();
+  wrong_root[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], 3, tree.prove(3), wrong_root));
+}
+
+}  // namespace
+}  // namespace lyra::crypto

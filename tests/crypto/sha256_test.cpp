@@ -1,0 +1,91 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+#include "support/hex.hpp"
+
+namespace lyra::crypto {
+namespace {
+
+std::string hash_hex(std::string_view input) {
+  return digest_hex(Sha256::hash(to_bytes(input)));
+}
+
+// NIST FIPS 180-4 example vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(data).subspan(0, split));
+    h.update(BytesView(data).subspan(split));
+    EXPECT_EQ(h.finalize(), Sha256::hash(data)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 56-byte padding boundary and the 64-byte block size.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 121u}) {
+    const Bytes data(len, 0x5a);
+    Sha256 a;
+    a.update(data);
+    Sha256 b;
+    for (std::uint8_t byte : data) b.update(&byte, 1);
+    EXPECT_EQ(a.finalize(), b.finalize()) << "length " << len;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  (void)h.finalize();
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Hasher, FieldBoundariesMatter) {
+  // ("ab", "c") and ("a", "bc") must hash differently: fields are
+  // length-prefixed.
+  const Digest d1 = Hasher().add_str("ab").add_str("c").digest();
+  const Digest d2 = Hasher().add_str("a").add_str("bc").digest();
+  EXPECT_NE(d1, d2);
+}
+
+TEST(Hasher, DeterministicAcrossCalls) {
+  const Digest d1 = Hasher().add_u64(7).add_i64(-3).add_str("x").digest();
+  const Digest d2 = Hasher().add_u64(7).add_i64(-3).add_str("x").digest();
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Hasher, DigestShortIsPrefix) {
+  const Digest d = Sha256::hash(to_bytes("abc"));
+  EXPECT_EQ(digest_short(d), digest_hex(d).substr(0, 8));
+}
+
+}  // namespace
+}  // namespace lyra::crypto

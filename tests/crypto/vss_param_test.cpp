@@ -1,0 +1,94 @@
+// Property sweep of the VSS scheme over the Byzantine-quorum shapes the
+// protocol actually deploys: for every (n, 2f+1), any 2f+1 shares decrypt,
+// any 2f shares do not, and corrupted shares are always detected.
+
+#include <gtest/gtest.h>
+
+#include "crypto/vss.hpp"
+
+namespace lyra::crypto {
+namespace {
+
+class VssParams
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(VssParams, ThresholdExactness) {
+  const auto [n, f] = GetParam();
+  const std::uint32_t threshold = 2 * f + 1;
+  Rng rng(1000 + n);
+  KeyRegistry registry(n, threshold, rng);
+  Vss vss(&registry, n, threshold);
+
+  Bytes payload(64);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  const VssCipher cipher = vss.encrypt(payload, rng);
+
+  // Exactly `threshold` shares from the tail of the shareholder set.
+  std::vector<VssShare> shares;
+  for (std::uint32_t i = n - threshold; i < n; ++i) {
+    shares.push_back(vss.partial_decrypt(cipher, registry.signer_for(i)));
+  }
+  const auto plain = vss.decrypt(cipher, shares);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, payload);
+
+  // One fewer must fail.
+  shares.pop_back();
+  EXPECT_FALSE(vss.decrypt(cipher, shares).has_value());
+}
+
+TEST_P(VssParams, CorruptionAlwaysDetected) {
+  const auto [n, f] = GetParam();
+  const std::uint32_t threshold = 2 * f + 1;
+  Rng rng(2000 + n);
+  KeyRegistry registry(n, threshold, rng);
+  Vss vss(&registry, n, threshold);
+
+  const Bytes payload = to_bytes("parameterized-secret");
+  const VssCipher cipher = vss.encrypt(payload, rng);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    VssShare share = vss.partial_decrypt(cipher, registry.signer_for(i));
+    ASSERT_TRUE(vss.verify_share(cipher, share));
+    VssShare corrupt = share;
+    corrupt.key_share.y[i % corrupt.key_share.y.size()] ^= 0x80;
+    EXPECT_FALSE(vss.verify_share(cipher, corrupt)) << "share " << i;
+  }
+}
+
+TEST_P(VssParams, ByzantineSharesCannotPoisonDecryption) {
+  const auto [n, f] = GetParam();
+  const std::uint32_t threshold = 2 * f + 1;
+  Rng rng(3000 + n);
+  KeyRegistry registry(n, threshold, rng);
+  Vss vss(&registry, n, threshold);
+
+  const Bytes payload = to_bytes("robust-reconstruction");
+  const VssCipher cipher = vss.encrypt(payload, rng);
+
+  // f corrupted shares followed by 2f+1 honest ones: reconstruction must
+  // skip the garbage and succeed.
+  std::vector<VssShare> shares;
+  for (std::uint32_t i = 0; i < f; ++i) {
+    VssShare bad = vss.partial_decrypt(cipher, registry.signer_for(i));
+    for (auto& b : bad.key_share.y) b ^= 0x5a;
+    shares.push_back(bad);
+  }
+  for (std::uint32_t i = f; i < f + threshold; ++i) {
+    shares.push_back(vss.partial_decrypt(cipher, registry.signer_for(i)));
+  }
+  const auto plain = vss.decrypt(cipher, shares);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuorumShapes, VssParams,
+    ::testing::Values(std::tuple{4u, 1u}, std::tuple{7u, 2u},
+                      std::tuple{10u, 3u}, std::tuple{16u, 5u},
+                      std::tuple{31u, 10u}, std::tuple{61u, 20u},
+                      std::tuple{100u, 33u}));
+
+}  // namespace
+}  // namespace lyra::crypto

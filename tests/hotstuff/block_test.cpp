@@ -1,0 +1,56 @@
+#include "hotstuff/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::hotstuff {
+namespace {
+
+BlockEntry make_entry(int i) {
+  BlockEntry e;
+  Bytes b;
+  append_u64(b, static_cast<std::uint64_t>(i));
+  e.batch_digest = crypto::Sha256::hash(b);
+  e.assigned_ts = ms(i);
+  e.proposer = static_cast<NodeId>(i % 4);
+  e.tx_count = 800;
+  e.nominal_bytes = 800 * 32;
+  e.proof_bytes = 7 * 72;
+  return e;
+}
+
+TEST(Block, DigestCoversHeader) {
+  Block a;
+  a.height = 5;
+  Block b = a;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.height = 6;
+  EXPECT_NE(a.digest(), b.digest());
+  b = a;
+  b.view = 2;
+  EXPECT_NE(a.digest(), b.digest());
+  b = a;
+  b.parent[0] ^= 1;
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Block, DigestCoversEntries) {
+  Block a;
+  a.entries.push_back(make_entry(1));
+  Block b = a;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.entries[0].assigned_ts += 1;
+  EXPECT_NE(a.digest(), b.digest());
+  b = a;
+  b.entries.push_back(make_entry(2));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Block, WireBytesAccountForPayloadAndProofs) {
+  Block b;
+  EXPECT_EQ(b.wire_bytes(), 256u);
+  b.entries.push_back(make_entry(1));
+  EXPECT_EQ(b.wire_bytes(), 256u + 64 + 800 * 32 + 7 * 72);
+}
+
+}  // namespace
+}  // namespace lyra::hotstuff

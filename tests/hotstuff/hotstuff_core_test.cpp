@@ -1,0 +1,252 @@
+// Direct unit tests of HotStuffCore's rules (proposal validation, vote
+// rule, three-chain commit, pacemaker) using scripted hooks — no network,
+// every message is injected by hand.
+
+#include "hotstuff/hotstuff_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace lyra::hotstuff {
+namespace {
+
+class CoreHarness {
+ public:
+  explicit CoreHarness(NodeId self, std::size_t n = 4, std::size_t f = 1)
+      : rng_(7), registry_(n, 2 * f + 1, rng_) {
+    HotStuffCore::Options options;
+    options.n = n;
+    options.f = f;
+    options.self = self;
+    options.initial_leader = 0;
+    options.view_timeout = ms(1000);
+    core_ = std::make_unique<HotStuffCore>(
+        options, &registry_,
+        HotStuffCore::Hooks{
+            .broadcast = [this](sim::PayloadPtr p) { sent.push_back({kNoNode, std::move(p)}); },
+            .send = [this](NodeId to, sim::PayloadPtr p) { sent.push_back({to, std::move(p)}); },
+            .set_timer = [](TimeNs, std::function<void()>) {},
+            .charge = [](TimeNs) {},
+            .collect = [this](std::uint64_t) { return std::exchange(pending, {}); },
+            .on_commit = [this](const Block& b) { committed.push_back(b.height); },
+        });
+  }
+
+  /// Injects a message as if delivered from `from`.
+  void inject(NodeId from, sim::PayloadPtr payload) {
+    sim::Envelope env;
+    env.from = from;
+    env.payload = std::move(payload);
+    core_->handle(env);
+  }
+
+  /// Crafts a valid proposal extending `justify` at the given view.
+  std::shared_ptr<ProposalMsg> make_proposal(const QuorumCert& justify,
+                                             std::uint64_t view,
+                                             NodeId proposer,
+                                             bool with_entry = false) {
+    auto block = std::make_shared<Block>();
+    block->height = justify.height + 1;
+    block->view = view;
+    block->proposer = proposer;
+    block->parent = justify.block;
+    block->justify = justify;
+    if (with_entry) {
+      BlockEntry e;
+      e.batch_digest = crypto::Sha256::hash(to_bytes(
+          "entry" + std::to_string(block->height)));
+      block->entries.push_back(e);
+    }
+    auto msg = std::make_shared<ProposalMsg>();
+    msg->block = std::move(block);
+    return msg;
+  }
+
+  /// Forms a genuine QC over the given block (all replicas' shares).
+  QuorumCert make_qc(const Block& block) {
+    const crypto::Digest d =
+        crypto::Hasher().add_str("hs-vote").add_u64(block.height)
+            .add(block.digest()).digest();
+    const Bytes msg(d.begin(), d.end());
+    std::vector<crypto::SigShare> shares;
+    for (NodeId i = 0; i < 3; ++i) {
+      shares.push_back(registry_.signer_for(i).share_sign(msg));
+    }
+    QuorumCert qc;
+    qc.height = block.height;
+    qc.block = block.digest();
+    qc.sig = *registry_.share_combine(msg, shares);
+    return qc;
+  }
+
+  /// Last vote this replica emitted, if any.
+  const BlockVoteMsg* last_vote() const {
+    for (auto it = sent.rbegin(); it != sent.rend(); ++it) {
+      if (const auto* v = dynamic_cast<const BlockVoteMsg*>(it->second.get())) {
+        return v;
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t vote_count() const {
+    std::size_t count = 0;
+    for (const auto& [to, p] : sent) {
+      if (dynamic_cast<const BlockVoteMsg*>(p.get()) != nullptr) ++count;
+    }
+    return count;
+  }
+
+  Rng rng_;
+  crypto::KeyRegistry registry_;
+  std::unique_ptr<HotStuffCore> core_;
+  std::vector<std::pair<NodeId, sim::PayloadPtr>> sent;
+  std::vector<BlockEntry> pending;
+  std::vector<std::uint64_t> committed;
+};
+
+TEST(HotStuffCore, RepliesWithVoteToValidProposal) {
+  CoreHarness h(/*self=*/1);
+  auto prop = h.make_proposal(h.core_->high_qc(), 0, /*proposer=*/0);
+  h.inject(0, prop);
+  const auto* vote = h.last_vote();
+  ASSERT_NE(vote, nullptr);
+  EXPECT_EQ(vote->height, 1u);
+  EXPECT_EQ(vote->block, prop->block->digest());
+}
+
+TEST(HotStuffCore, RejectsProposalFromNonLeader) {
+  CoreHarness h(1);
+  auto prop = h.make_proposal(h.core_->high_qc(), 0, /*proposer=*/2);
+  h.inject(2, prop);
+  EXPECT_EQ(h.last_vote(), nullptr);
+}
+
+TEST(HotStuffCore, RejectsRelayedProposal) {
+  CoreHarness h(1);
+  auto prop = h.make_proposal(h.core_->high_qc(), 0, 0);
+  h.inject(3, prop);  // sender != proposer
+  EXPECT_EQ(h.last_vote(), nullptr);
+}
+
+TEST(HotStuffCore, RejectsMalformedChain) {
+  CoreHarness h(1);
+  auto prop = h.make_proposal(h.core_->high_qc(), 0, 0);
+  auto tampered = std::make_shared<Block>(*prop->block);
+  tampered->height += 1;  // height must be justify.height + 1
+  auto msg = std::make_shared<ProposalMsg>();
+  msg->block = tampered;
+  h.inject(0, msg);
+  EXPECT_EQ(h.last_vote(), nullptr);
+}
+
+TEST(HotStuffCore, RejectsForgedQc) {
+  CoreHarness h(1);
+  auto b1 = h.make_proposal(h.core_->high_qc(), 0, 0);
+  h.inject(0, b1);
+  QuorumCert forged = h.make_qc(*b1->block);
+  forged.sig.shares[0].mac[0] ^= 1;  // corrupt one share
+  auto b2 = h.make_proposal(forged, 0, 0);
+  h.inject(0, b2);
+  EXPECT_EQ(h.vote_count(), 1u);  // only the first proposal got a vote
+}
+
+TEST(HotStuffCore, VotesOncePerViewAndHeight) {
+  CoreHarness h(1);
+  auto prop = h.make_proposal(h.core_->high_qc(), 0, 0);
+  h.inject(0, prop);
+  h.inject(0, prop);  // duplicate
+  EXPECT_EQ(h.vote_count(), 1u);
+}
+
+TEST(HotStuffCore, ThreeChainCommits) {
+  CoreHarness h(1);
+  auto b1 = h.make_proposal(h.core_->high_qc(), 0, 0, /*with_entry=*/true);
+  h.inject(0, b1);
+  auto b2 = h.make_proposal(h.make_qc(*b1->block), 0, 0);
+  h.inject(0, b2);
+  auto b3 = h.make_proposal(h.make_qc(*b2->block), 0, 0);
+  h.inject(0, b3);
+  EXPECT_TRUE(h.committed.empty());  // two-chain is not enough
+  auto b4 = h.make_proposal(h.make_qc(*b3->block), 0, 0);
+  h.inject(0, b4);
+  ASSERT_EQ(h.committed.size(), 1u);
+  EXPECT_EQ(h.committed[0], 1u);
+  EXPECT_EQ(h.core_->committed_height(), 1u);
+}
+
+TEST(HotStuffCore, CommitDeliversAncestorsInOrder) {
+  CoreHarness h(1);
+  std::vector<std::shared_ptr<ProposalMsg>> chain;
+  QuorumCert qc = h.core_->high_qc();
+  for (int i = 0; i < 6; ++i) {
+    auto prop = h.make_proposal(qc, 0, 0, /*with_entry=*/true);
+    h.inject(0, prop);
+    qc = h.make_qc(*prop->block);
+    chain.push_back(std::move(prop));
+  }
+  // Heights 1..3 have three successors each by now.
+  ASSERT_GE(h.committed.size(), 3u);
+  for (std::size_t i = 1; i < h.committed.size(); ++i) {
+    EXPECT_EQ(h.committed[i], h.committed[i - 1] + 1);
+  }
+}
+
+TEST(HotStuffCore, LeaderFormsQcFromQuorumVotes) {
+  CoreHarness h(/*self=*/0);  // the leader
+  h.pending.push_back(BlockEntry{});
+  h.core_->kick();  // proposes height 1
+  ASSERT_FALSE(h.sent.empty());
+  const auto* prop =
+      dynamic_cast<const ProposalMsg*>(h.sent.front().second.get());
+  ASSERT_NE(prop, nullptr);
+  const Block& b = *prop->block;
+
+  // Deliver 2f+1 = 3 votes (leader's own + two replicas).
+  const crypto::Digest d = crypto::Hasher()
+                               .add_str("hs-vote")
+                               .add_u64(b.height)
+                               .add(b.digest())
+                               .digest();
+  const Bytes msg(d.begin(), d.end());
+  for (NodeId i = 0; i < 3; ++i) {
+    auto vote = std::make_shared<BlockVoteMsg>();
+    vote->height = b.height;
+    vote->block = b.digest();
+    vote->share = h.registry_.signer_for(i).share_sign(msg);
+    h.inject(i, vote);
+  }
+  EXPECT_EQ(h.core_->high_qc().height, 1u);
+  EXPECT_FALSE(h.core_->high_qc().genesis);
+}
+
+TEST(HotStuffCore, DuplicateVotesDoNotFormQc) {
+  CoreHarness h(0);
+  h.pending.push_back(BlockEntry{});
+  h.core_->kick();
+  const auto* prop =
+      dynamic_cast<const ProposalMsg*>(h.sent.front().second.get());
+  const Block& b = *prop->block;
+  const crypto::Digest d = crypto::Hasher()
+                               .add_str("hs-vote")
+                               .add_u64(b.height)
+                               .add(b.digest())
+                               .digest();
+  const Bytes msg(d.begin(), d.end());
+  auto vote = std::make_shared<BlockVoteMsg>();
+  vote->height = b.height;
+  vote->block = b.digest();
+  vote->share = h.registry_.signer_for(1).share_sign(msg);
+  for (int i = 0; i < 5; ++i) h.inject(1, vote);
+  EXPECT_TRUE(h.core_->high_qc().genesis);  // one voter cannot make a QC
+}
+
+TEST(HotStuffCore, EmptyChainStaysIdle) {
+  CoreHarness h(0);
+  h.core_->kick();  // nothing pending, nothing uncommitted
+  EXPECT_EQ(h.core_->blocks_proposed(), 0u);
+}
+
+}  // namespace
+}  // namespace lyra::hotstuff

@@ -1,0 +1,124 @@
+// Combined adversaries: network-level delay attacks together with
+// Byzantine process behaviours, at the protocol's full fault budget.
+
+#include <gtest/gtest.h>
+
+#include "attacks/byzantine_lyra.hpp"
+#include "harness/lyra_cluster.hpp"
+
+namespace lyra {
+namespace {
+
+using attacks::SilentLyraNode;
+using attacks::SkewedPredictionLyraNode;
+
+harness::LyraClusterOptions adversarial_options(std::size_t n, std::size_t f,
+                                                std::uint64_t seed) {
+  harness::LyraClusterOptions opts;
+  opts.config.n = n;
+  opts.config.f = f;
+  opts.config.delta = ms(3);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 8;
+  opts.config.batch_timeout = ms(4);
+  opts.config.heartbeat_period = ms(2);
+  opts.config.commit_poll = ms(1);
+  opts.config.probe_period = ms(3);
+  opts.topology = net::single_region(n);
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(Adversarial, FullFaultBudgetMixedByzantine) {
+  // n = 7, f = 2: one silent node, one skewing node — the full budget,
+  // with different behaviours.
+  auto opts = adversarial_options(7, 2, 61);
+  opts.node_factory = [](sim::Simulation* sim, net::Network* net, NodeId id,
+                         const core::Config& cfg,
+                         const crypto::KeyRegistry* reg)
+      -> std::unique_ptr<core::LyraNode> {
+    if (id == 0) return std::make_unique<SilentLyraNode>(sim, net, id, cfg, reg);
+    if (id == 1) {
+      return std::make_unique<SkewedPredictionLyraNode>(sim, net, id, cfg,
+                                                        reg, ms(30));
+    }
+    return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+  };
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(80));
+  for (int i = 0; i < 15; ++i) {
+    cluster.node(static_cast<NodeId>(2 + i % 5))
+        .submit_local(to_bytes("m" + std::to_string(i)));
+    cluster.node(1).submit_local(to_bytes("cheat" + std::to_string(i)));
+    cluster.run_for(ms(10));
+  }
+  cluster.run_for(ms(600));
+
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  for (NodeId i = 2; i < 7; ++i) {
+    EXPECT_GT(cluster.node(i).stats().revealed_batches, 0u) << "node " << i;
+    // The skewer's mispredicted proposals never commit.
+    for (const auto& batch : cluster.node(i).ledger()) {
+      EXPECT_NE(batch.inst.proposer, 1u);
+    }
+  }
+}
+
+TEST(Adversarial, TargetedDelayOnVictimPreGst) {
+  // The adversary isolates one correct node until GST; afterwards the
+  // victim catches up and its ledger is a prefix of everyone else's.
+  auto opts = adversarial_options(4, 1, 67);
+  harness::LyraCluster cluster(opts);
+  net::TargetedDelayAdversary adversary(/*gst=*/ms(250), /*extra=*/ms(80),
+                                        /*victim=*/3);
+  cluster.network().set_adversary(&adversary);
+  cluster.start();
+  cluster.run_for(ms(60));
+  for (int i = 0; i < 12; ++i) {
+    cluster.node(static_cast<NodeId>(i % 3)).submit_local(
+        to_bytes("t" + std::to_string(i)));
+    cluster.run_for(ms(15));
+  }
+  cluster.run_for(ms(800));
+
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+  // After GST the victim converges to the same length.
+  EXPECT_EQ(cluster.node(3).ledger().size(),
+            cluster.node(0).ledger().size());
+}
+
+class AdversarialSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdversarialSeeds, SilentPlusAsynchronyStaysSafe) {
+  auto opts = adversarial_options(4, 1, GetParam());
+  opts.node_factory = [](sim::Simulation* sim, net::Network* net, NodeId id,
+                         const core::Config& cfg,
+                         const crypto::KeyRegistry* reg)
+      -> std::unique_ptr<core::LyraNode> {
+    if (id == 0) return std::make_unique<SilentLyraNode>(sim, net, id, cfg, reg);
+    return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+  };
+  harness::LyraCluster cluster(opts);
+  net::PreGstDelayAdversary adversary(ms(120), ms(50));
+  cluster.network().set_adversary(&adversary);
+  cluster.start();
+  cluster.run_for(ms(20));
+  for (int i = 0; i < 9; ++i) {
+    cluster.node(static_cast<NodeId>(1 + i % 3))
+        .submit_local(to_bytes("s" + std::to_string(i)));
+    cluster.run_for(ms(12));
+  }
+  cluster.run_for(ms(1200));
+
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+  EXPECT_GT(cluster.node(1).ledger().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialSeeds,
+                         ::testing::Range<std::uint64_t>(200, 210));
+
+}  // namespace
+}  // namespace lyra

@@ -1,0 +1,109 @@
+#include "lyra/batching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::core {
+namespace {
+
+TEST(BatchAssembler, EmptyByDefault) {
+  BatchAssembler a(800, 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.has_full_batch());
+}
+
+TEST(BatchAssembler, AggregateFillsToThreshold) {
+  BatchAssembler a(800, 0);
+  a.add(10, 500, ms(1), {});
+  EXPECT_FALSE(a.has_full_batch());
+  a.add(11, 300, ms(2), {});
+  EXPECT_TRUE(a.has_full_batch());
+  EXPECT_EQ(a.pending_txs(), 800u);
+}
+
+TEST(BatchAssembler, CarveRespectsBatchSize) {
+  BatchAssembler a(800, 0);
+  a.add(10, 2400, ms(1), {});
+  const auto b1 = a.carve();
+  EXPECT_EQ(b1.tx_count, 800u);
+  EXPECT_EQ(b1.nominal_bytes, 800u * 32);
+  const auto b2 = a.carve();
+  const auto b3 = a.carve();
+  EXPECT_EQ(b2.tx_count, 800u);
+  EXPECT_EQ(b3.tx_count, 800u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(BatchAssembler, SplitChunkKeepsSubmissionTime) {
+  BatchAssembler a(100, 0);
+  a.add(10, 150, ms(7), {});
+  const auto b1 = a.carve();
+  ASSERT_EQ(b1.chunks.size(), 1u);
+  EXPECT_EQ(b1.chunks[0].count, 100u);
+  EXPECT_EQ(b1.chunks[0].submitted_at, ms(7));
+  const auto b2 = a.carve();
+  ASSERT_EQ(b2.chunks.size(), 1u);
+  EXPECT_EQ(b2.chunks[0].count, 50u);
+  EXPECT_EQ(b2.chunks[0].submitted_at, ms(7));
+}
+
+TEST(BatchAssembler, PayloadsAreUniqueAcrossCarves) {
+  BatchAssembler a(100, 0);
+  a.add(10, 100, ms(1), {});
+  a.add(10, 100, ms(1), {});
+  const auto b1 = a.carve();
+  const auto b2 = a.carve();
+  EXPECT_NE(b1.payload, b2.payload);  // nonce differentiates
+}
+
+TEST(BatchAssembler, PayloadsAreUniqueAcrossProposers) {
+  BatchAssembler a0(100, 0);
+  BatchAssembler a1(100, 1);
+  a0.add(10, 100, ms(1), {});
+  a1.add(10, 100, ms(1), {});
+  EXPECT_NE(a0.carve().payload, a1.carve().payload);
+}
+
+TEST(BatchAssembler, ExplicitTransactionsSerializedInOrder) {
+  BatchAssembler a(10, 0);
+  a.add(10, 2, ms(1), {to_bytes("alpha"), to_bytes("beta")});
+  const auto b = a.carve();
+  EXPECT_EQ(b.tx_count, 2u);
+  const auto text = as_string_view(b.payload);
+  const auto pos_a = text.find("alpha");
+  const auto pos_b = text.find("beta");
+  ASSERT_NE(pos_a, std::string_view::npos);
+  ASSERT_NE(pos_b, std::string_view::npos);
+  EXPECT_LT(pos_a, pos_b);
+}
+
+TEST(BatchAssembler, ExplicitTransactionsSplitAcrossBatches) {
+  BatchAssembler a(2, 0);
+  a.add(10, 3, ms(1),
+        {to_bytes("t1"), to_bytes("t2"), to_bytes("t3")});
+  const auto b1 = a.carve();
+  EXPECT_EQ(b1.tx_count, 2u);
+  EXPECT_NE(as_string_view(b1.payload).find("t2"), std::string_view::npos);
+  const auto b2 = a.carve();
+  EXPECT_EQ(b2.tx_count, 1u);
+  EXPECT_NE(as_string_view(b2.payload).find("t3"), std::string_view::npos);
+}
+
+TEST(BatchAssembler, MixedChunksInFifoOrder) {
+  BatchAssembler a(1000, 0);
+  a.add(10, 5, ms(1), {});
+  a.add(11, 7, ms(2), {});
+  const auto b = a.carve();
+  ASSERT_EQ(b.chunks.size(), 2u);
+  EXPECT_EQ(b.chunks[0].client, 10u);
+  EXPECT_EQ(b.chunks[1].client, 11u);
+  EXPECT_EQ(b.tx_count, 12u);
+}
+
+TEST(BatchAssembler, ZeroCountIgnored) {
+  BatchAssembler a(10, 0);
+  a.add(10, 0, ms(1), {});
+  EXPECT_TRUE(a.empty());
+}
+
+}  // namespace
+}  // namespace lyra::core

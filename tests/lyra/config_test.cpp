@@ -1,0 +1,44 @@
+#include "lyra/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::core {
+namespace {
+
+TEST(Config, PaperDefaults) {
+  const Config c;
+  EXPECT_EQ(c.batch_size, 800u);      // §VI-B
+  EXPECT_EQ(c.lambda, ms(5));         // §VI-B
+  EXPECT_TRUE(c.obfuscate);
+}
+
+TEST(Config, AcceptanceWindowIsThreeDelta) {
+  Config c;
+  c.delta = ms(160);
+  EXPECT_EQ(c.max_latency(), ms(480));  // L = 3*Delta (Alg. 4 line 52)
+}
+
+TEST(Config, QuorumIsTwoFPlusOne) {
+  Config c;
+  c.n = 100;
+  c.f = 33;
+  EXPECT_EQ(c.quorum(), 67u);
+}
+
+TEST(Config, CryptoCostScalesWithParallelism) {
+  Config c;
+  c.cpu_parallelism = 16.0;
+  EXPECT_EQ(c.crypto_cost(us(160)), us(10));
+  c.cpu_parallelism = 1.0;
+  EXPECT_EQ(c.crypto_cost(us(160)), us(160));
+}
+
+TEST(CryptoCosts, HashCostIsLinearInBytes) {
+  const crypto::CryptoCosts costs;
+  EXPECT_EQ(costs.hash_cost(0), 0);
+  EXPECT_EQ(costs.hash_cost(1000), 2 * kNsPerUs);
+  EXPECT_EQ(costs.share_list_verify(3), 3 * costs.share_verify);
+}
+
+}  // namespace
+}  // namespace lyra::core

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "attacks/byzantine_lyra.hpp"
+#include "harness/lyra_cluster.hpp"
+
+namespace lyra {
+namespace {
+
+using attacks::EquivocatingLyraNode;
+using attacks::FutureFloodLyraNode;
+using attacks::LowballStatusLyraNode;
+using attacks::SilentLyraNode;
+using attacks::SkewedPredictionLyraNode;
+
+harness::LyraClusterOptions base_options(std::size_t n, std::size_t f,
+                                         std::uint64_t seed) {
+  harness::LyraClusterOptions opts;
+  opts.config.n = n;
+  opts.config.f = f;
+  opts.config.delta = ms(3);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 8;
+  opts.config.batch_timeout = ms(4);
+  opts.config.heartbeat_period = ms(2);
+  opts.config.commit_poll = ms(1);
+  opts.config.probe_period = ms(3);
+  opts.config.clock_offset_spread = us(300);
+  opts.topology = net::single_region(n);
+  opts.seed = seed;
+  return opts;
+}
+
+/// Node factory placing one Byzantine node of type B (with ctor extras) at
+/// slot 0 and correct nodes elsewhere.
+template <class B, class... Extra>
+harness::NodeFactory byzantine_at_zero(Extra... extra) {
+  return [=](sim::Simulation* sim, net::Network* net, NodeId id,
+             const core::Config& cfg,
+             const crypto::KeyRegistry* reg) -> std::unique_ptr<core::LyraNode> {
+    if (id == 0) return std::make_unique<B>(sim, net, id, cfg, reg, extra...);
+    return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Good-case behaviour
+// ---------------------------------------------------------------------------
+
+TEST(LyraProtocol, GoodCaseDecidesInRoundOne) {
+  harness::LyraCluster cluster(base_options(4, 1, 3));
+  cluster.start();
+  cluster.run_for(ms(40));
+  for (int i = 0; i < 20; ++i) {
+    cluster.node(i % 4).submit_local(to_bytes("tx-" + std::to_string(i)));
+    cluster.run_for(ms(10));
+  }
+  cluster.run_for(ms(150));
+
+  // Theorem 3: with a correct broadcaster after GST, the instance decides
+  // in the first DBFT round (3 message delays).
+  for (NodeId i = 0; i < 4; ++i) {
+    const auto& rounds = cluster.node(i).stats().decide_rounds;
+    ASSERT_GT(rounds.count(), 0u);
+    EXPECT_DOUBLE_EQ(rounds.max(), 1.0) << "node " << i;
+  }
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+TEST(LyraProtocol, AllCorrectNodesRevealIdenticalPayloads) {
+  harness::LyraCluster cluster(base_options(4, 1, 5));
+  cluster.start();
+  cluster.run_for(ms(40));
+  for (int i = 0; i < 10; ++i) {
+    cluster.node(static_cast<NodeId>(i % 4))
+        .submit_local(to_bytes("payload-" + std::to_string(i)));
+  }
+  cluster.run_for(ms(300));
+
+  const auto& ref = cluster.node(0).ledger();
+  ASSERT_GE(ref.size(), 1u);
+  for (NodeId i = 1; i < 4; ++i) {
+    const auto& l = cluster.node(i).ledger();
+    ASSERT_EQ(l.size(), ref.size());
+    for (std::size_t k = 0; k < l.size(); ++k) {
+      EXPECT_EQ(l[k].payload, ref[k].payload);
+      EXPECT_GT(l[k].revealed_at, 0);
+      EXPECT_GE(l[k].revealed_at, l[k].committed_at);
+    }
+  }
+}
+
+TEST(LyraProtocol, ChainHashesConverge) {
+  harness::LyraCluster cluster(base_options(4, 1, 7));
+  cluster.start();
+  cluster.run_for(ms(40));
+  for (int i = 0; i < 12; ++i) {
+    cluster.node(static_cast<NodeId>(i % 4))
+        .submit_local(to_bytes("c" + std::to_string(i)));
+  }
+  cluster.run_for(ms(400));
+
+  ASSERT_GT(cluster.node(0).ledger().size(), 0u);
+  ASSERT_EQ(cluster.min_ledger_length(), cluster.max_ledger_length());
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(i).chain_hash(), cluster.node(0).chain_hash());
+  }
+}
+
+TEST(LyraProtocol, SequenceNumbersAreLowerBounded) {
+  // BOC-Validity (Lemma 2): every decided sequence number is >=
+  // MIN_seq(t) - lambda. With zero clock offsets MIN_seq is at least the
+  // proposal time, so no committed seq may undercut proposal time by more
+  // than lambda.
+  auto opts = base_options(4, 1, 9);
+  opts.config.clock_offset_spread = 0;
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(40));
+
+  std::vector<TimeNs> proposal_floor;
+  for (int i = 0; i < 8; ++i) {
+    proposal_floor.push_back(cluster.simulation().now());
+    cluster.node(static_cast<NodeId>(i % 4))
+        .submit_local(to_bytes("lb" + std::to_string(i)));
+    cluster.run_for(ms(20));
+  }
+  cluster.run_for(ms(200));
+
+  const auto& ledger = cluster.node(0).ledger();
+  ASSERT_GE(ledger.size(), 4u);
+  for (const auto& batch : ledger) {
+    EXPECT_GE(batch.seq, proposal_floor.front() - cluster.config().lambda);
+    // And it cannot be later than its own commit time.
+    EXPECT_LE(batch.seq, batch.committed_at);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine behaviours (f = 1 of 4)
+// ---------------------------------------------------------------------------
+
+TEST(LyraProtocol, LivenessWithSilentNode) {
+  auto opts = base_options(4, 1, 11);
+  opts.node_factory = byzantine_at_zero<SilentLyraNode>();
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(60));
+  for (int i = 0; i < 9; ++i) {
+    cluster.node(static_cast<NodeId>(1 + i % 3))
+        .submit_local(to_bytes("s" + std::to_string(i)));
+  }
+  cluster.run_for(ms(500));
+
+  // Correct nodes commit and reveal despite the silent process.
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_GT(cluster.node(i).stats().revealed_batches, 0u) << "node " << i;
+  }
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+TEST(LyraProtocol, SkewedPredictionsBeyondLambdaAreRejected) {
+  auto opts = base_options(4, 1, 13);
+  opts.node_factory =
+      byzantine_at_zero<SkewedPredictionLyraNode, SeqNum>(ms(50));
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(60));
+  cluster.node(0).submit_local(to_bytes("cheat"));
+  cluster.node(1).submit_local(to_bytes("honest"));
+  cluster.run_for(ms(500));
+
+  // The skewed proposal fails Eq. 1 at every correct node and is never
+  // committed; the honest one goes through.
+  for (NodeId i = 1; i < 4; ++i) {
+    const auto& ledger = cluster.node(i).ledger();
+    for (const auto& batch : ledger) {
+      EXPECT_NE(batch.inst.proposer, 0u);
+    }
+    EXPECT_GT(cluster.node(i).stats().validations_rejected, 0u);
+  }
+  EXPECT_GE(cluster.node(1).stats().revealed_batches, 1u);
+}
+
+TEST(LyraProtocol, LowballStatusCannotStallCommits) {
+  auto opts = base_options(4, 1, 17);
+  opts.node_factory = [](sim::Simulation* sim, net::Network* net, NodeId id,
+                         const core::Config& cfg, const crypto::KeyRegistry*
+                             reg) -> std::unique_ptr<core::LyraNode> {
+    if (id == 0) {
+      return std::make_unique<LowballStatusLyraNode>(sim, net, id, cfg, reg);
+    }
+    return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+  };
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(60));
+  for (int i = 0; i < 6; ++i) {
+    cluster.node(static_cast<NodeId>(1 + i % 3))
+        .submit_local(to_bytes("lb" + std::to_string(i)));
+  }
+  cluster.run_for(ms(400));
+  // Alg. 4's 2f+1-highest rule rides over the lowballer.
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_GT(cluster.node(i).stats().revealed_batches, 0u);
+  }
+}
+
+TEST(LyraProtocol, FutureFloodIsRejected) {
+  auto opts = base_options(4, 1, 19);
+  opts.node_factory =
+      byzantine_at_zero<FutureFloodLyraNode, SeqNum>(ms(100'000));
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(60));
+  cluster.node(0).submit_local(to_bytes("future-spam"));
+  cluster.node(2).submit_local(to_bytes("honest"));
+  cluster.run_for(ms(500));
+
+  for (NodeId i = 1; i < 4; ++i) {
+    for (const auto& batch : cluster.node(i).ledger()) {
+      EXPECT_NE(batch.inst.proposer, 0u);
+    }
+  }
+  EXPECT_GE(cluster.node(2).stats().revealed_batches, 1u);
+}
+
+TEST(LyraProtocol, EquivocationNeverCommitsTwoValues) {
+  auto opts = base_options(4, 1, 23);
+  EquivocatingLyraNode* byz = nullptr;
+  opts.node_factory = [&byz](sim::Simulation* sim, net::Network* net,
+                             NodeId id, const core::Config& cfg,
+                             const crypto::KeyRegistry* reg)
+      -> std::unique_ptr<core::LyraNode> {
+    if (id == 0) {
+      auto node =
+          std::make_unique<EquivocatingLyraNode>(sim, net, id, cfg, reg);
+      byz = node.get();
+      return node;
+    }
+    return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+  };
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(60));
+  for (int i = 0; i < 5; ++i) {
+    byz->equivocate(to_bytes("even-" + std::to_string(i)),
+                    to_bytes("odd-" + std::to_string(i)));
+    cluster.run_for(ms(30));
+  }
+  cluster.run_for(ms(400));
+
+  // VVB-Unicity: per equivocating instance at most one value can gather
+  // 2f+1 validations; whatever commits must agree across correct nodes.
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  ASSERT_EQ(cluster.min_ledger_length(), cluster.max_ledger_length());
+  const auto& ref = cluster.node(1).ledger();
+  for (NodeId i = 2; i < 4; ++i) {
+    const auto& l = cluster.node(i).ledger();
+    for (std::size_t k = 0; k < l.size(); ++k) {
+      EXPECT_EQ(l[k].payload, ref[k].payload);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Asynchrony (safety across adversarial schedules)
+// ---------------------------------------------------------------------------
+
+class LyraAsynchrony : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LyraAsynchrony, SafetyAndLivenessAcrossGst) {
+  auto opts = base_options(4, 1, GetParam());
+  harness::LyraCluster cluster(opts);
+  // Adversary delays messages arbitrarily (up to 60 ms) until GST = 150ms.
+  net::PreGstDelayAdversary adversary(ms(150), ms(60));
+  cluster.network().set_adversary(&adversary);
+  cluster.start();
+  cluster.run_for(ms(20));
+  for (int i = 0; i < 8; ++i) {
+    cluster.node(static_cast<NodeId>(i % 4))
+        .submit_local(to_bytes("a" + std::to_string(i)));
+    cluster.run_for(ms(15));
+  }
+  cluster.run_for(ms(1200));
+
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+  // SMR-Liveness: after GST the cluster commits.
+  EXPECT_GT(cluster.min_ledger_length(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LyraAsynchrony,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+// ---------------------------------------------------------------------------
+// Scale sanity
+// ---------------------------------------------------------------------------
+
+TEST(LyraProtocol, SevenNodesTwoFaultsCommit) {
+  auto opts = base_options(7, 2, 31);
+  opts.node_factory = byzantine_at_zero<SilentLyraNode>();
+  harness::LyraCluster cluster(opts);
+  cluster.start();
+  cluster.run_for(ms(60));
+  for (int i = 0; i < 12; ++i) {
+    cluster.node(static_cast<NodeId>(1 + i % 6))
+        .submit_local(to_bytes("x" + std::to_string(i)));
+  }
+  cluster.run_for(ms(600));
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  for (NodeId i = 1; i < 7; ++i) {
+    EXPECT_GT(cluster.node(i).stats().revealed_batches, 0u) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lyra

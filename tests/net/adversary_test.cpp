@@ -1,0 +1,104 @@
+#include "net/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace lyra::net {
+namespace {
+
+sim::Envelope envelope_at(TimeNs sent, NodeId from = 0, NodeId to = 1) {
+  sim::Envelope env;
+  env.from = from;
+  env.to = to;
+  env.sent_at = sent;
+  return env;
+}
+
+TEST(PreGstDelayAdversary, InflatesBeforeGst) {
+  PreGstDelayAdversary adv(ms(1000), ms(500));
+  Rng rng(1);
+  bool inflated = false;
+  for (int i = 0; i < 100; ++i) {
+    const TimeNs d = adv.delay(envelope_at(ms(10)), ms(20), rng);
+    EXPECT_GE(d, ms(20));
+    if (d > ms(20)) inflated = true;
+  }
+  EXPECT_TRUE(inflated);
+}
+
+TEST(PreGstDelayAdversary, HonestAfterGst) {
+  PreGstDelayAdversary adv(ms(1000), ms(500));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(adv.delay(envelope_at(ms(1000)), ms(20), rng), ms(20));
+    EXPECT_EQ(adv.delay(envelope_at(ms(5000)), ms(20), rng), ms(20));
+  }
+}
+
+TEST(PreGstDelayAdversary, DeliveryCappedByGstPlusDelta) {
+  PreGstDelayAdversary adv(ms(100), ms(100000));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const TimeNs sent = ms(50);
+    const TimeNs base = ms(20);
+    const TimeNs d = adv.delay(envelope_at(sent), base, rng);
+    EXPECT_LE(sent + d, ms(100) + base);
+  }
+}
+
+TEST(TargetedDelayAdversary, OnlyAffectsVictim) {
+  TargetedDelayAdversary adv(ms(1000), ms(300), /*victim=*/2);
+  Rng rng(1);
+  EXPECT_EQ(adv.delay(envelope_at(ms(1), 0, 1), ms(10), rng), ms(10));
+  EXPECT_GT(adv.delay(envelope_at(ms(1), 0, 2), ms(10), rng), ms(10));
+  EXPECT_GT(adv.delay(envelope_at(ms(1), 2, 0), ms(10), rng), ms(10));
+}
+
+TEST(TargetedDelayAdversary, StopsAtGst) {
+  TargetedDelayAdversary adv(ms(1000), ms(300), 2);
+  Rng rng(1);
+  EXPECT_EQ(adv.delay(envelope_at(ms(1000), 0, 2), ms(10), rng), ms(10));
+}
+
+TEST(NetworkWithAdversary, MessagesDelayedUntilGst) {
+  sim::Simulation sim(9);
+  Network net(&sim, std::make_unique<UniformLatency>(ms(10)), 2);
+
+  struct Ping final : sim::Payload {
+    const char* name() const override { return "PING"; }
+  };
+  class Sink final : public sim::Process {
+   public:
+    using sim::Process::Process;
+    using sim::Process::send;
+    std::vector<TimeNs> arrivals;
+
+   protected:
+    void on_message(const sim::Envelope& env) override {
+      arrivals.push_back(env.delivered_at);
+    }
+  };
+
+  Sink a(&sim, &net, 0);
+  Sink b(&sim, &net, 1);
+  net.attach(&a);
+  net.attach(&b);
+
+  PreGstDelayAdversary adv(ms(500), ms(400));
+  net.set_adversary(&adv);
+
+  for (int i = 0; i < 50; ++i) a.send(1, std::make_shared<Ping>());
+  sim.run_all();
+
+  ASSERT_EQ(b.arrivals.size(), 50u);
+  bool some_late = false;
+  for (TimeNs t : b.arrivals) {
+    EXPECT_LE(t, ms(510));  // never past GST + Delta
+    if (t > ms(11)) some_late = true;
+  }
+  EXPECT_TRUE(some_late);
+}
+
+}  // namespace
+}  // namespace lyra::net

@@ -1,0 +1,68 @@
+#include "net/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace lyra::net {
+namespace {
+
+TEST(UniformLatency, NoJitterIsConstant) {
+  UniformLatency model(ms(10));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(0, 1, rng), ms(10));
+  }
+}
+
+TEST(UniformLatency, SelfMessagesUseLoopback) {
+  UniformLatency model(ms(10), 0.0, us(50));
+  Rng rng(1);
+  EXPECT_EQ(model.sample(3, 3, rng), us(50));
+  EXPECT_EQ(model.base(3, 3), us(50));
+}
+
+TEST(UniformLatency, JitterPreservesMeanApproximately) {
+  UniformLatency model(ms(100), 0.2);
+  Rng rng(2);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(to_ms(model.sample(0, 1, rng)));
+  }
+  EXPECT_NEAR(stats.mean(), 100.0, 1.0);
+  EXPECT_GT(stats.stddev(), 5.0);  // jitter is actually present
+}
+
+TEST(MatrixLatency, UsesPerPairBase) {
+  std::vector<std::vector<TimeNs>> m = {
+      {0, ms(10), ms(20)},
+      {ms(10), 0, ms(30)},
+      {ms(20), ms(30), 0},
+  };
+  MatrixLatency model(m, 0.0);
+  Rng rng(1);
+  EXPECT_EQ(model.sample(0, 1, rng), ms(10));
+  EXPECT_EQ(model.sample(1, 2, rng), ms(30));
+  EXPECT_EQ(model.base(0, 2), ms(20));
+  EXPECT_EQ(model.max_base(), ms(30));
+}
+
+TEST(MatrixLatency, SamplesNeverBelowLoopback) {
+  std::vector<std::vector<TimeNs>> m = {{0, us(1)}, {us(1), 0}};
+  MatrixLatency model(m, 0.0, us(50));
+  Rng rng(1);
+  EXPECT_EQ(model.sample(0, 1, rng), us(50));
+}
+
+TEST(MatrixLatency, JitterIsDeterministicGivenSeed) {
+  std::vector<std::vector<TimeNs>> m = {{0, ms(10)}, {ms(10), 0}};
+  MatrixLatency model(m, 0.1);
+  Rng rng1(5);
+  Rng rng2(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(0, 1, rng1), model.sample(0, 1, rng2));
+  }
+}
+
+}  // namespace
+}  // namespace lyra::net

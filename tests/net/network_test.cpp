@@ -1,0 +1,107 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::net {
+namespace {
+
+struct Ping final : sim::Payload {
+  explicit Ping(int tag) : tag(tag) {}
+  int tag;
+  const char* name() const override { return "PING"; }
+};
+
+class Sink final : public sim::Process {
+ public:
+  using sim::Process::Process;
+  using sim::Process::broadcast;
+  using sim::Process::send;
+
+  std::vector<sim::Envelope> received;
+
+ protected:
+  void on_message(const sim::Envelope& env) override {
+    received.push_back(env);
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : sim_(1),
+        net_(&sim_, std::make_unique<UniformLatency>(ms(10)), 3) {
+    for (NodeId i = 0; i < 4; ++i) {
+      nodes_.push_back(std::make_unique<Sink>(&sim_, &net_, i));
+      net_.attach(nodes_.back().get());
+    }
+  }
+
+  sim::Simulation sim_;
+  Network net_;
+  std::vector<std::unique_ptr<Sink>> nodes_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  nodes_[0]->send(1, std::make_shared<Ping>(7));
+  sim_.run_all();
+  ASSERT_EQ(nodes_[1]->received.size(), 1u);
+  const auto& env = nodes_[1]->received[0];
+  EXPECT_EQ(env.from, 0u);
+  EXPECT_EQ(env.to, 1u);
+  EXPECT_EQ(env.delivered_at - env.sent_at, ms(10));
+  EXPECT_EQ(sim::payload_as<Ping>(env)->tag, 7);
+}
+
+TEST_F(NetworkTest, PayloadIsSharedUntampered) {
+  auto payload = std::make_shared<Ping>(42);
+  nodes_[0]->send(1, payload);
+  nodes_[0]->send(2, payload);
+  sim_.run_all();
+  EXPECT_EQ(sim::payload_as<Ping>(nodes_[1]->received[0])->tag, 42);
+  EXPECT_EQ(sim::payload_as<Ping>(nodes_[2]->received[0]), payload.get());
+}
+
+TEST_F(NetworkTest, BroadcastOnlyHitsConsensusNodes) {
+  // Node 3 is a client (consensus_count = 3) and must not receive
+  // broadcasts.
+  nodes_[0]->broadcast(std::make_shared<Ping>(1));
+  sim_.run_all();
+  EXPECT_EQ(nodes_[0]->received.size(), 1u);  // self-delivery
+  EXPECT_EQ(nodes_[1]->received.size(), 1u);
+  EXPECT_EQ(nodes_[2]->received.size(), 1u);
+  EXPECT_EQ(nodes_[3]->received.size(), 0u);
+}
+
+TEST_F(NetworkTest, ClientsCanSendToNodes) {
+  nodes_[3]->send(0, std::make_shared<Ping>(9));
+  sim_.run_all();
+  ASSERT_EQ(nodes_[0]->received.size(), 1u);
+  EXPECT_EQ(nodes_[0]->received[0].from, 3u);
+}
+
+TEST_F(NetworkTest, CountsDeliveries) {
+  nodes_[0]->broadcast(std::make_shared<Ping>(1));
+  sim_.run_all();
+  EXPECT_EQ(net_.messages_delivered(), 3u);
+}
+
+TEST(NetworkDeterminism, SameSeedSameDeliveryTimes) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulation sim(seed);
+    Network net(&sim, std::make_unique<UniformLatency>(ms(10), 0.3), 2);
+    Sink a(&sim, &net, 0);
+    Sink b(&sim, &net, 1);
+    net.attach(&a);
+    net.attach(&b);
+    for (int i = 0; i < 20; ++i) a.send(1, std::make_shared<Ping>(i));
+    sim.run_all();
+    std::vector<TimeNs> times;
+    for (const auto& env : b.received) times.push_back(env.delivered_at);
+    return times;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+}  // namespace
+}  // namespace lyra::net

@@ -1,0 +1,116 @@
+#include "ordering/distance_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hpp"
+
+namespace lyra::ordering {
+using lyra::Rng;
+namespace {
+
+TEST(DistanceTable, FirstObservationSetsEstimate) {
+  DistanceTable d(4, 0.2);
+  EXPECT_FALSE(d.has(1));
+  d.observe(1, ms(50));
+  EXPECT_TRUE(d.has(1));
+  EXPECT_EQ(d.distance(1), ms(50));
+}
+
+TEST(DistanceTable, EwmaSmoothsTowardNewValues) {
+  DistanceTable d(4, 0.5);
+  d.observe(1, ms(100));
+  d.observe(1, ms(200));
+  EXPECT_EQ(d.distance(1), ms(150));
+  d.observe(1, ms(150));
+  EXPECT_EQ(d.distance(1), ms(150));
+}
+
+TEST(DistanceTable, UnobservedPeerHasNoDistance) {
+  DistanceTable d(4, 0.2);
+  EXPECT_EQ(d.distance(2), kNoSeq);
+}
+
+TEST(DistanceTable, ReadyAfterQuorumObservations) {
+  DistanceTable d(4, 0.2);
+  d.observe(0, 0);
+  d.observe(1, ms(10));
+  EXPECT_FALSE(d.ready(3));
+  d.observe(2, ms(20));
+  EXPECT_TRUE(d.ready(3));
+  EXPECT_EQ(d.observed_count(), 3u);
+}
+
+TEST(DistanceTable, PredictionAddsDistancesToReference) {
+  DistanceTable d(3, 0.2);
+  d.observe(0, 0);
+  d.observe(1, ms(10));
+  d.observe(2, ms(30));
+  const auto preds = d.predict(ms(1000));
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(preds[0], ms(1000));
+  EXPECT_EQ(preds[1], ms(1010));
+  EXPECT_EQ(preds[2], ms(1030));
+}
+
+TEST(DistanceTable, BlankPeersFilledWithMaxKnownDistance) {
+  // Silent Byzantine peers get the conservative (largest) estimate.
+  DistanceTable d(4, 0.2);
+  d.observe(0, 0);
+  d.observe(1, ms(10));
+  d.observe(2, ms(30));
+  const auto preds = d.predict(0);
+  EXPECT_EQ(preds[3], ms(30));
+}
+
+TEST(DistanceTable, NegativeDistancesSupported) {
+  // d_ij folds in clock offsets, so it can be negative (a peer whose clock
+  // runs behind by more than the network delay).
+  DistanceTable d(2, 0.2);
+  d.observe(1, -ms(5));
+  const auto preds = d.predict(ms(100));
+  EXPECT_EQ(preds[1], ms(95));
+}
+
+TEST(RequestedSeq, TakesNMinusFthSmallest) {
+  // n = 4, f = 1: the requested value is the 3rd smallest, leaving at most
+  // f = 1 predictions above it (Lemma 2).
+  const std::vector<SeqNum> preds{ms(40), ms(10), ms(20), ms(30)};
+  EXPECT_EQ(DistanceTable::requested_seq(preds, 1), ms(30));
+}
+
+TEST(RequestedSeq, WithZeroFaultsTakesMaximum) {
+  const std::vector<SeqNum> preds{ms(40), ms(10)};
+  EXPECT_EQ(DistanceTable::requested_seq(preds, 0), ms(40));
+}
+
+TEST(RequestedSeq, DuplicatesHandled) {
+  const std::vector<SeqNum> preds{ms(10), ms(10), ms(10), ms(10)};
+  EXPECT_EQ(DistanceTable::requested_seq(preds, 1), ms(10));
+}
+
+class RequestedSeqQuorums
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RequestedSeqQuorums, AtMostFAbove) {
+  const auto [n, f] = GetParam();
+  Rng rng(n * 131 + f);
+  std::vector<SeqNum> preds;
+  for (std::size_t i = 0; i < n; ++i) {
+    preds.push_back(rng.next_in_range(0, 1'000'000));
+  }
+  const SeqNum s = ordering::DistanceTable::requested_seq(preds, f);
+  std::size_t above = 0;
+  for (SeqNum p : preds) {
+    if (p > s) ++above;
+  }
+  EXPECT_LE(above, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RequestedSeqQuorums,
+                         ::testing::Values(std::tuple{4u, 1u},
+                                           std::tuple{10u, 3u},
+                                           std::tuple{31u, 10u},
+                                           std::tuple{100u, 33u}));
+
+}  // namespace
+}  // namespace lyra::ordering

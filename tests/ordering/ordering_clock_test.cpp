@@ -1,0 +1,48 @@
+#include "ordering/ordering_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::ordering {
+namespace {
+
+TEST(OrderingClock, TracksSimulatedTimePlusOffset) {
+  sim::Simulation sim(1);
+  OrderingClock ahead(&sim, ms(5));
+  OrderingClock behind(&sim, -ms(3));
+  EXPECT_EQ(ahead.now(), ms(5));
+  EXPECT_EQ(behind.now(), -ms(3));
+
+  sim.schedule_in(ms(100), [] {});
+  sim.run_all();
+  EXPECT_EQ(ahead.now(), ms(105));
+  EXPECT_EQ(behind.now(), ms(97));
+}
+
+TEST(OrderingClock, MonotoneAcrossEvents) {
+  sim::Simulation sim(2);
+  OrderingClock clock(&sim, us(123));
+  SeqNum last = clock.now();
+  for (int i = 1; i <= 50; ++i) {
+    sim.schedule_in(us(10), [] {});
+    sim.run_all();
+    const SeqNum now = clock.now();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+TEST(OrderingClock, OffsetsAreObservableDifferences) {
+  // Two clocks over the same simulation differ by exactly the offset
+  // delta at every instant — the quantity d_ij absorbs (§IV-B1).
+  sim::Simulation sim(3);
+  OrderingClock a(&sim, ms(2));
+  OrderingClock b(&sim, ms(7));
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_in(ms(13), [] {});
+    sim.run_all();
+    EXPECT_EQ(b.now() - a.now(), ms(5));
+  }
+}
+
+}  // namespace
+}  // namespace lyra::ordering

@@ -1,0 +1,82 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule_at(10, [&] { ran = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.cancel(12345);
+  q.schedule_at(1, [] {});
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1, [&] { order.push_back(1); });
+  const auto id = q.schedule_at(2, [&] { order.push_back(2); });
+  q.schedule_at(3, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NestedSchedulingRunsLater) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1, [&] {
+    order.push_back(1);
+    q.schedule_at(5, [&] { order.push_back(5); });
+  });
+  q.schedule_at(3, [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  const auto id = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.next_time(), 10);
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, EmptyQueueNextTimeIsSentinel) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNoSeq);
+}
+
+}  // namespace
+}  // namespace lyra::sim

@@ -1,0 +1,180 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::sim {
+namespace {
+
+/// Minimal transport delivering every message after a fixed delay.
+class FixedDelayTransport final : public Transport {
+ public:
+  FixedDelayTransport(Simulation* sim, TimeNs delay, std::size_t nodes)
+      : sim_(sim), delay_(delay), nodes_(nodes) {}
+
+  void attach(Process* p) {
+    if (processes_.size() <= p->id()) processes_.resize(p->id() + 1);
+    processes_[p->id()] = p;
+  }
+
+  void send(NodeId from, NodeId to, PayloadPtr payload) override {
+    Envelope env;
+    env.from = from;
+    env.to = to;
+    env.sent_at = sim_->now();
+    env.payload = std::move(payload);
+    Process* dest = processes_.at(to);
+    sim_->schedule_in(delay_, [this, dest, env]() mutable {
+      env.delivered_at = sim_->now();
+      dest->deliver(std::move(env));
+    });
+  }
+
+  std::size_t node_count() const override { return nodes_; }
+
+ private:
+  Simulation* sim_;
+  TimeNs delay_;
+  std::size_t nodes_;
+  std::vector<Process*> processes_;
+};
+
+struct Ping final : Payload {
+  const char* name() const override { return "PING"; }
+};
+
+/// Records deliveries and charges a configurable CPU cost per message.
+class Recorder final : public Process {
+ public:
+  Recorder(Simulation* sim, Transport* t, NodeId id, TimeNs cost)
+      : Process(sim, t, id), cost_(cost) {}
+
+  std::vector<TimeNs> handled_at;
+
+  using Process::broadcast;
+  using Process::send;
+
+ protected:
+  void on_message(const Envelope&) override {
+    handled_at.push_back(now());
+    charge(cost_);
+  }
+
+ private:
+  TimeNs cost_;
+};
+
+TEST(Process, DeliversAfterTransportDelay) {
+  Simulation sim(1);
+  FixedDelayTransport net(&sim, ms(10), 2);
+  Recorder a(&sim, &net, 0, 0);
+  Recorder b(&sim, &net, 1, 0);
+  net.attach(&a);
+  net.attach(&b);
+
+  a.send(1, std::make_shared<Ping>());
+  sim.run_all();
+  ASSERT_EQ(b.handled_at.size(), 1u);
+  EXPECT_EQ(b.handled_at[0], ms(10));
+  EXPECT_EQ(a.messages_sent(), 1u);
+  EXPECT_EQ(b.messages_processed(), 1u);
+}
+
+TEST(Process, SerialCpuDelaysQueuedMessages) {
+  Simulation sim(1);
+  FixedDelayTransport net(&sim, ms(1), 2);
+  Recorder a(&sim, &net, 0, 0);
+  Recorder busy(&sim, &net, 1, ms(5));  // each message costs 5 ms of CPU
+  net.attach(&a);
+  net.attach(&busy);
+
+  for (int i = 0; i < 3; ++i) a.send(1, std::make_shared<Ping>());
+  sim.run_all();
+
+  ASSERT_EQ(busy.handled_at.size(), 3u);
+  EXPECT_EQ(busy.handled_at[0], ms(1));   // arrives, CPU free
+  EXPECT_EQ(busy.handled_at[1], ms(6));   // waits for first handler's cost
+  EXPECT_EQ(busy.handled_at[2], ms(11));
+  EXPECT_EQ(busy.cpu_time_used(), ms(15));
+}
+
+TEST(Process, IdleCpuDoesNotDelay) {
+  Simulation sim(1);
+  FixedDelayTransport net(&sim, ms(1), 2);
+  Recorder a(&sim, &net, 0, 0);
+  Recorder b(&sim, &net, 1, ms(2));
+  net.attach(&a);
+  net.attach(&b);
+
+  a.send(1, std::make_shared<Ping>());
+  sim.run_all();
+  // A second message sent long after the CPU drained is handled on arrival.
+  sim.schedule_in(ms(50), [&] { a.send(1, std::make_shared<Ping>()); });
+  sim.run_all();
+
+  ASSERT_EQ(b.handled_at.size(), 2u);
+  EXPECT_EQ(b.handled_at[1], sim.now());
+}
+
+TEST(Process, BroadcastReachesAllConsensusNodesIncludingSelf) {
+  Simulation sim(1);
+  FixedDelayTransport net(&sim, ms(1), 3);
+  Recorder n0(&sim, &net, 0, 0);
+  Recorder n1(&sim, &net, 1, 0);
+  Recorder n2(&sim, &net, 2, 0);
+  net.attach(&n0);
+  net.attach(&n1);
+  net.attach(&n2);
+
+  n0.broadcast(std::make_shared<Ping>());
+  sim.run_all();
+  EXPECT_EQ(n0.handled_at.size(), 1u);
+  EXPECT_EQ(n1.handled_at.size(), 1u);
+  EXPECT_EQ(n2.handled_at.size(), 1u);
+  EXPECT_EQ(n0.messages_sent(), 3u);
+}
+
+TEST(Process, TimerFiresAndCancelWorks) {
+  Simulation sim(1);
+  FixedDelayTransport net(&sim, ms(1), 1);
+
+  class TimerHolder final : public Process {
+   public:
+    using Process::Process;
+    int fired = 0;
+    void arm() {
+      set_timer(ms(5), [this] { ++fired; });
+      const auto id = set_timer(ms(6), [this] { ++fired; });
+      cancel_timer(id);
+    }
+
+   protected:
+    void on_message(const Envelope&) override {}
+  };
+
+  TimerHolder p(&sim, &net, 0);
+  net.attach(&p);
+  p.arm();
+  sim.run_all();
+  EXPECT_EQ(p.fired, 1);
+}
+
+TEST(Process, BytesSentAccumulateWireSizes) {
+  Simulation sim(1);
+  FixedDelayTransport net(&sim, ms(1), 2);
+  Recorder a(&sim, &net, 0, 0);
+  Recorder b(&sim, &net, 1, 0);
+  net.attach(&a);
+  net.attach(&b);
+
+  struct Big final : Payload {
+    const char* name() const override { return "BIG"; }
+    std::size_t wire_size() const override { return 1000; }
+  };
+  a.send(1, std::make_shared<Big>());
+  a.send(1, std::make_shared<Ping>());
+  sim.run_all();
+  EXPECT_EQ(a.bytes_sent(), 1064u);
+}
+
+}  // namespace
+}  // namespace lyra::sim

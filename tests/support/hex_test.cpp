@@ -1,0 +1,37 @@
+#include "support/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra {
+namespace {
+
+TEST(Hex, EncodesKnownBytes) {
+  const Bytes b{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+}
+
+TEST(Hex, EncodesEmpty) { EXPECT_EQ(to_hex(Bytes{}), ""); }
+
+TEST(Hex, RoundTrips) {
+  Bytes b;
+  for (int i = 0; i < 256; ++i) b.push_back(static_cast<std::uint8_t>(i));
+  const auto decoded = from_hex(to_hex(b));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(Hex, AcceptsUppercase) {
+  const auto decoded = from_hex("ABFF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0xab, 0xff}));
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHexChars) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+}  // namespace
+}  // namespace lyra

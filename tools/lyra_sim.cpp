@@ -1,0 +1,137 @@
+// lyra_sim: command-line experiment runner. Runs one protocol deployment
+// on the simulated 3-continent WAN with closed-loop clients and reports
+// latency/throughput/safety — the same harness the benchmarks use, with
+// every knob on a flag.
+//
+//   lyra_sim --protocol=lyra --nodes=31 --clients=1600
+//   lyra_sim --protocol=pompe --nodes=100 --clients=300 --duration-ms=8000
+//   lyra_sim --protocol=lyra --nodes=16 --lambda-ms=2 --no-obfuscation
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace lyra;
+using harness::RunConfig;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: lyra_sim [options]\n"
+      "  --protocol=lyra|pompe     protocol to run (default lyra)\n"
+      "  --nodes=N                 consensus nodes, n > 3f (default 16)\n"
+      "  --clients=W               closed-loop clients per node (default 1600)\n"
+      "  --duration-ms=T           simulated run length (default 6000)\n"
+      "  --measure-from-ms=T       measurement window start (default 2500)\n"
+      "  --batch=B                 transactions per batch (default 800)\n"
+      "  --lambda-ms=L             validation window lambda (default 5)\n"
+      "  --outstanding=K           Lyra proposal pipeline depth (default 3)\n"
+      "  --silent=S                crash-faulty Lyra nodes (default 0)\n"
+      "  --bandwidth-gbps=B        per-node egress (default 1.0)\n"
+      "  --seed=S                  run seed (default 42)\n"
+      "  --no-obfuscation          disable Lyra's commit-reveal\n"
+      "  --help                    this text\n");
+}
+
+bool parse_value(const char* arg, const char* flag, std::string& out) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+  out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunConfig config;
+  config.protocol = RunConfig::Protocol::kLyra;
+  config.n = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_value(argv[i], "--protocol", value)) {
+      if (value == "lyra") {
+        config.protocol = RunConfig::Protocol::kLyra;
+      } else if (value == "pompe") {
+        config.protocol = RunConfig::Protocol::kPompe;
+      } else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_value(argv[i], "--nodes", value)) {
+      config.n = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argv[i], "--clients", value)) {
+      config.clients_per_node =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_value(argv[i], "--duration-ms", value)) {
+      config.duration = ms(std::strtod(value.c_str(), nullptr));
+    } else if (parse_value(argv[i], "--measure-from-ms", value)) {
+      config.measure_from = ms(std::strtod(value.c_str(), nullptr));
+    } else if (parse_value(argv[i], "--batch", value)) {
+      config.batch_size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argv[i], "--lambda-ms", value)) {
+      config.lambda = ms(std::strtod(value.c_str(), nullptr));
+    } else if (parse_value(argv[i], "--outstanding", value)) {
+      config.max_outstanding = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argv[i], "--silent", value)) {
+      config.byzantine_silent = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argv[i], "--bandwidth-gbps", value)) {
+      config.bandwidth_bytes_per_sec =
+          std::strtod(value.c_str(), nullptr) * 125e6;
+    } else if (parse_value(argv[i], "--seed", value)) {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-obfuscation") == 0) {
+      config.obfuscate = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+
+  if (config.n <= 3 * config.f()) {
+    std::fprintf(stderr, "need n > 3f\n");
+    return 2;
+  }
+  if (config.measure_from >= config.duration) {
+    std::fprintf(stderr, "measurement window is empty\n");
+    return 2;
+  }
+
+  std::printf("running %s: n=%zu f=%zu clients/node=%u batch=%zu "
+              "lambda=%.1fms duration=%.1fs seed=%llu\n",
+              harness::protocol_name(config.protocol), config.n, config.f(),
+              config.clients_per_node, config.batch_size,
+              to_ms(config.lambda), to_ms(config.duration) / 1000.0,
+              static_cast<unsigned long long>(config.seed));
+  std::fflush(stdout);
+
+  const auto result = run_experiment(config);
+
+  std::printf("\nthroughput        %10.0f tx/s\n", result.throughput_tps);
+  std::printf("latency mean      %10.1f ms\n", result.mean_latency_ms);
+  std::printf("latency p50       %10.1f ms\n", result.p50_latency_ms);
+  std::printf("latency p99       %10.1f ms\n", result.p99_latency_ms);
+  std::printf("committed txs     %10llu\n",
+              static_cast<unsigned long long>(result.committed_txs));
+  std::printf("prefix safety     %10s\n",
+              result.prefix_consistent ? "ok" : "VIOLATED");
+  if (config.protocol == RunConfig::Protocol::kLyra) {
+    std::printf("accept rate       %10.4f\n", result.validation_accept_rate);
+    std::printf("decide rounds     %10.3f (max %.0f)\n",
+                result.mean_decide_rounds, result.max_decide_rounds);
+    std::printf("late accepts      %10llu\n",
+                static_cast<unsigned long long>(result.late_accepts));
+  } else {
+    std::printf("ts verifications  %10llu\n",
+                static_cast<unsigned long long>(result.proof_verifications));
+  }
+  return result.prefix_consistent ? 0 : 1;
+}
