@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_breakdown.dir/bench_ablation_breakdown.cpp.o"
+  "CMakeFiles/bench_ablation_breakdown.dir/bench_ablation_breakdown.cpp.o.d"
+  "bench_ablation_breakdown"
+  "bench_ablation_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_byzantine.dir/bench_ablation_byzantine.cpp.o"
+  "CMakeFiles/bench_ablation_byzantine.dir/bench_ablation_byzantine.cpp.o.d"
+  "bench_ablation_byzantine"
+  "bench_ablation_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

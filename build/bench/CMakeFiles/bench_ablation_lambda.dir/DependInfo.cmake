@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_lambda.cpp" "bench/CMakeFiles/bench_ablation_lambda.dir/bench_ablation_lambda.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_lambda.dir/bench_ablation_lambda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lyra_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/lyra_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/lyra_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/pompe/CMakeFiles/lyra_pompe.dir/DependInfo.cmake"
+  "/root/repo/build/src/lyra/CMakeFiles/lyra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/lyra_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotstuff/CMakeFiles/lyra_hotstuff.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lyra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lyra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lyra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

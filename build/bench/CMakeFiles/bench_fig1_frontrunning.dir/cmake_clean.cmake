@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_frontrunning.dir/bench_fig1_frontrunning.cpp.o"
+  "CMakeFiles/bench_fig1_frontrunning.dir/bench_fig1_frontrunning.cpp.o.d"
+  "bench_fig1_frontrunning"
+  "bench_fig1_frontrunning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_frontrunning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

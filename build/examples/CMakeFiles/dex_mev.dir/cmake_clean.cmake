@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_mev.dir/dex_mev.cpp.o"
+  "CMakeFiles/dex_mev.dir/dex_mev.cpp.o.d"
+  "dex_mev"
+  "dex_mev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_mev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontrunning_demo.dir/frontrunning_demo.cpp.o"
+  "CMakeFiles/frontrunning_demo.dir/frontrunning_demo.cpp.o.d"
+  "frontrunning_demo"
+  "frontrunning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontrunning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

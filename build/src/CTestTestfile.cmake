@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("crypto")
+subdirs("sim")
+subdirs("net")
+subdirs("ordering")
+subdirs("lyra")
+subdirs("hotstuff")
+subdirs("pompe")
+subdirs("client")
+subdirs("harness")
+subdirs("app")
+subdirs("attacks")

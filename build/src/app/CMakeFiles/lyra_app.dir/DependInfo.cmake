@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/amm.cpp" "src/app/CMakeFiles/lyra_app.dir/amm.cpp.o" "gcc" "src/app/CMakeFiles/lyra_app.dir/amm.cpp.o.d"
+  "/root/repo/src/app/kvstore.cpp" "src/app/CMakeFiles/lyra_app.dir/kvstore.cpp.o" "gcc" "src/app/CMakeFiles/lyra_app.dir/kvstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/lyra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_app.dir/amm.cpp.o"
+  "CMakeFiles/lyra_app.dir/amm.cpp.o.d"
+  "CMakeFiles/lyra_app.dir/kvstore.cpp.o"
+  "CMakeFiles/lyra_app.dir/kvstore.cpp.o.d"
+  "liblyra_app.a"
+  "liblyra_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_attacks.dir/byzantine_lyra.cpp.o"
+  "CMakeFiles/lyra_attacks.dir/byzantine_lyra.cpp.o.d"
+  "CMakeFiles/lyra_attacks.dir/frontrun.cpp.o"
+  "CMakeFiles/lyra_attacks.dir/frontrun.cpp.o.d"
+  "liblyra_attacks.a"
+  "liblyra_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

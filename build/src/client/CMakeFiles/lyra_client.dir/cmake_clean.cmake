@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_client.dir/client_pool.cpp.o"
+  "CMakeFiles/lyra_client.dir/client_pool.cpp.o.d"
+  "liblyra_client.a"
+  "liblyra_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

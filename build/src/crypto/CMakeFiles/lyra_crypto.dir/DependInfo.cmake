@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/commitment.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/commitment.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/commitment.cpp.o.d"
+  "/root/repo/src/crypto/gf256.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/gf256.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/gf256.cpp.o.d"
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/keys.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/stream_cipher.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/stream_cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/stream_cipher.cpp.o.d"
+  "/root/repo/src/crypto/vss.cpp" "src/crypto/CMakeFiles/lyra_crypto.dir/vss.cpp.o" "gcc" "src/crypto/CMakeFiles/lyra_crypto.dir/vss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_crypto.dir/commitment.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/commitment.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/gf256.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/gf256.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/hash.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/keys.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/stream_cipher.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/stream_cipher.cpp.o.d"
+  "CMakeFiles/lyra_crypto.dir/vss.cpp.o"
+  "CMakeFiles/lyra_crypto.dir/vss.cpp.o.d"
+  "liblyra_crypto.a"
+  "liblyra_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

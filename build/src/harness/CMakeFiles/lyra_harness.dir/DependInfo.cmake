@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/lyra_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/lyra_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/lyra_cluster.cpp" "src/harness/CMakeFiles/lyra_harness.dir/lyra_cluster.cpp.o" "gcc" "src/harness/CMakeFiles/lyra_harness.dir/lyra_cluster.cpp.o.d"
+  "/root/repo/src/harness/pompe_cluster.cpp" "src/harness/CMakeFiles/lyra_harness.dir/pompe_cluster.cpp.o" "gcc" "src/harness/CMakeFiles/lyra_harness.dir/pompe_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/lyra_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/lyra_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/lyra/CMakeFiles/lyra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pompe/CMakeFiles/lyra_pompe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lyra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lyra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotstuff/CMakeFiles/lyra_hotstuff.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lyra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/lyra_ordering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_harness.dir/experiment.cpp.o"
+  "CMakeFiles/lyra_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/lyra_harness.dir/lyra_cluster.cpp.o"
+  "CMakeFiles/lyra_harness.dir/lyra_cluster.cpp.o.d"
+  "CMakeFiles/lyra_harness.dir/pompe_cluster.cpp.o"
+  "CMakeFiles/lyra_harness.dir/pompe_cluster.cpp.o.d"
+  "liblyra_harness.a"
+  "liblyra_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_hotstuff.dir/block.cpp.o"
+  "CMakeFiles/lyra_hotstuff.dir/block.cpp.o.d"
+  "CMakeFiles/lyra_hotstuff.dir/hotstuff_core.cpp.o"
+  "CMakeFiles/lyra_hotstuff.dir/hotstuff_core.cpp.o.d"
+  "liblyra_hotstuff.a"
+  "liblyra_hotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

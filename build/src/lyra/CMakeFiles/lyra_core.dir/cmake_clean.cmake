@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_core.dir/commit_state.cpp.o"
+  "CMakeFiles/lyra_core.dir/commit_state.cpp.o.d"
+  "CMakeFiles/lyra_core.dir/lyra_node.cpp.o"
+  "CMakeFiles/lyra_core.dir/lyra_node.cpp.o.d"
+  "liblyra_core.a"
+  "liblyra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

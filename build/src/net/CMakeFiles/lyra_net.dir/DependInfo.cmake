@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/adversary.cpp" "src/net/CMakeFiles/lyra_net.dir/adversary.cpp.o" "gcc" "src/net/CMakeFiles/lyra_net.dir/adversary.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/net/CMakeFiles/lyra_net.dir/latency_model.cpp.o" "gcc" "src/net/CMakeFiles/lyra_net.dir/latency_model.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/lyra_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/lyra_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/lyra_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/lyra_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lyra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

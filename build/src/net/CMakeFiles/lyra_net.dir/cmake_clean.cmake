@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_net.dir/adversary.cpp.o"
+  "CMakeFiles/lyra_net.dir/adversary.cpp.o.d"
+  "CMakeFiles/lyra_net.dir/latency_model.cpp.o"
+  "CMakeFiles/lyra_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/lyra_net.dir/network.cpp.o"
+  "CMakeFiles/lyra_net.dir/network.cpp.o.d"
+  "CMakeFiles/lyra_net.dir/topology.cpp.o"
+  "CMakeFiles/lyra_net.dir/topology.cpp.o.d"
+  "liblyra_net.a"
+  "liblyra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_ordering.dir/distance_table.cpp.o"
+  "CMakeFiles/lyra_ordering.dir/distance_table.cpp.o.d"
+  "liblyra_ordering.a"
+  "liblyra_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

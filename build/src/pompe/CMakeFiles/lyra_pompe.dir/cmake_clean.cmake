@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_pompe.dir/pompe_node.cpp.o"
+  "CMakeFiles/lyra_pompe.dir/pompe_node.cpp.o.d"
+  "liblyra_pompe.a"
+  "liblyra_pompe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_pompe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

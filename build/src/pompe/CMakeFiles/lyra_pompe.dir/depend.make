@@ -1,0 +1,2 @@
+# Empty dependencies file for lyra_pompe.
+# This may be replaced when dependencies are built.

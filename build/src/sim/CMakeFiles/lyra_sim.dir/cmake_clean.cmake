@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/lyra_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/lyra_sim.dir/process.cpp.o"
+  "CMakeFiles/lyra_sim.dir/process.cpp.o.d"
+  "CMakeFiles/lyra_sim.dir/simulation.cpp.o"
+  "CMakeFiles/lyra_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/lyra_sim.dir/trace.cpp.o"
+  "CMakeFiles/lyra_sim.dir/trace.cpp.o.d"
+  "liblyra_sim.a"
+  "liblyra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_support.dir/hex.cpp.o"
+  "CMakeFiles/lyra_support.dir/hex.cpp.o.d"
+  "CMakeFiles/lyra_support.dir/random.cpp.o"
+  "CMakeFiles/lyra_support.dir/random.cpp.o.d"
+  "CMakeFiles/lyra_support.dir/stats.cpp.o"
+  "CMakeFiles/lyra_support.dir/stats.cpp.o.d"
+  "liblyra_support.a"
+  "liblyra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

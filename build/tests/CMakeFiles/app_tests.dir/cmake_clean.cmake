@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tests.dir/app/amm_test.cpp.o"
+  "CMakeFiles/app_tests.dir/app/amm_test.cpp.o.d"
+  "CMakeFiles/app_tests.dir/app/kvstore_test.cpp.o"
+  "CMakeFiles/app_tests.dir/app/kvstore_test.cpp.o.d"
+  "app_tests"
+  "app_tests.pdb"
+  "app_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/commitment_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/commitment_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/commitment_test.cpp.o.d"
+  "/root/repo/tests/crypto/gf256_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/gf256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/gf256_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/keys_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/keys_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/keys_test.cpp.o.d"
+  "/root/repo/tests/crypto/merkle_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/shamir_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o.d"
+  "/root/repo/tests/crypto/vss_param_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/vss_param_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/vss_param_test.cpp.o.d"
+  "/root/repo/tests/crypto/vss_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/vss_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/vss_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/lyra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_tests.dir/crypto/commitment_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/commitment_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/gf256_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/gf256_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/keys_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/keys_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/vss_param_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/vss_param_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/vss_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/vss_test.cpp.o.d"
+  "crypto_tests"
+  "crypto_tests.pdb"
+  "crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotstuff_tests.dir/hotstuff/block_test.cpp.o"
+  "CMakeFiles/hotstuff_tests.dir/hotstuff/block_test.cpp.o.d"
+  "CMakeFiles/hotstuff_tests.dir/hotstuff/hotstuff_core_test.cpp.o"
+  "CMakeFiles/hotstuff_tests.dir/hotstuff/hotstuff_core_test.cpp.o.d"
+  "hotstuff_tests"
+  "hotstuff_tests.pdb"
+  "hotstuff_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotstuff_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_core_tests.dir/lyra/batching_test.cpp.o"
+  "CMakeFiles/lyra_core_tests.dir/lyra/batching_test.cpp.o.d"
+  "CMakeFiles/lyra_core_tests.dir/lyra/commit_state_test.cpp.o"
+  "CMakeFiles/lyra_core_tests.dir/lyra/commit_state_test.cpp.o.d"
+  "CMakeFiles/lyra_core_tests.dir/lyra/config_test.cpp.o"
+  "CMakeFiles/lyra_core_tests.dir/lyra/config_test.cpp.o.d"
+  "lyra_core_tests"
+  "lyra_core_tests.pdb"
+  "lyra_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

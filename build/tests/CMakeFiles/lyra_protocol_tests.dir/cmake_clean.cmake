@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_protocol_tests.dir/lyra/adversarial_test.cpp.o"
+  "CMakeFiles/lyra_protocol_tests.dir/lyra/adversarial_test.cpp.o.d"
+  "CMakeFiles/lyra_protocol_tests.dir/lyra/protocol_test.cpp.o"
+  "CMakeFiles/lyra_protocol_tests.dir/lyra/protocol_test.cpp.o.d"
+  "lyra_protocol_tests"
+  "lyra_protocol_tests.pdb"
+  "lyra_protocol_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_protocol_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

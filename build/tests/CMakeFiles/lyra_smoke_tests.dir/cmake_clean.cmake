@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_smoke_tests.dir/lyra/smoke_test.cpp.o"
+  "CMakeFiles/lyra_smoke_tests.dir/lyra/smoke_test.cpp.o.d"
+  "lyra_smoke_tests"
+  "lyra_smoke_tests.pdb"
+  "lyra_smoke_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_smoke_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/adversary_test.cpp" "tests/CMakeFiles/net_tests.dir/net/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/adversary_test.cpp.o.d"
+  "/root/repo/tests/net/bandwidth_test.cpp" "tests/CMakeFiles/net_tests.dir/net/bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/bandwidth_test.cpp.o.d"
+  "/root/repo/tests/net/latency_model_test.cpp" "tests/CMakeFiles/net_tests.dir/net/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/latency_model_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/net_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/net_tests.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lyra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lyra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lyra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_tests.dir/ordering/distance_table_test.cpp.o"
+  "CMakeFiles/ordering_tests.dir/ordering/distance_table_test.cpp.o.d"
+  "CMakeFiles/ordering_tests.dir/ordering/ordering_clock_test.cpp.o"
+  "CMakeFiles/ordering_tests.dir/ordering/ordering_clock_test.cpp.o.d"
+  "ordering_tests"
+  "ordering_tests.pdb"
+  "ordering_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pompe_tests.dir/pompe/pompe_test.cpp.o"
+  "CMakeFiles/pompe_tests.dir/pompe/pompe_test.cpp.o.d"
+  "pompe_tests"
+  "pompe_tests.pdb"
+  "pompe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pompe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

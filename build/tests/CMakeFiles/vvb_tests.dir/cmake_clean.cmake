@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvb_tests.dir/lyra/vvb_test.cpp.o"
+  "CMakeFiles/vvb_tests.dir/lyra/vvb_test.cpp.o.d"
+  "vvb_tests"
+  "vvb_tests.pdb"
+  "vvb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_tests.dir/lyra/wan_test.cpp.o"
+  "CMakeFiles/wan_tests.dir/lyra/wan_test.cpp.o.d"
+  "wan_tests"
+  "wan_tests.pdb"
+  "wan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

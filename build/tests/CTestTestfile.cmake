@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/ordering_tests[1]_include.cmake")
+include("/root/repo/build/tests/lyra_smoke_tests[1]_include.cmake")
+include("/root/repo/build/tests/lyra_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/lyra_protocol_tests[1]_include.cmake")
+include("/root/repo/build/tests/hotstuff_tests[1]_include.cmake")
+include("/root/repo/build/tests/pompe_tests[1]_include.cmake")
+include("/root/repo/build/tests/app_tests[1]_include.cmake")
+include("/root/repo/build/tests/attacks_tests[1]_include.cmake")
+include("/root/repo/build/tests/vvb_tests[1]_include.cmake")
+include("/root/repo/build/tests/client_tests[1]_include.cmake")
+include("/root/repo/build/tests/wan_tests[1]_include.cmake")

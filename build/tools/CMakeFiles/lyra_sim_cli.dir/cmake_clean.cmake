@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_sim_cli.dir/lyra_sim.cpp.o"
+  "CMakeFiles/lyra_sim_cli.dir/lyra_sim.cpp.o.d"
+  "lyra_sim"
+  "lyra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
