@@ -117,9 +117,11 @@ void BM_SimulationMessageRoundtrip(benchmark::State& state) {
     using sim::Process::Process;
     void on_message(const sim::Envelope&) override {}
   };
-  struct Loopback final : sim::Transport {
+  struct Loopback final : sim::Transport, sim::ProcessDirectory {
     void send(NodeId, NodeId, sim::PayloadPtr) override {}
     std::size_t node_count() const override { return 1; }
+    sim::Process* process_at(NodeId) const override { return sink; }
+    sim::Process* sink = nullptr;
   };
   struct Ping final : sim::Payload {
     const char* name() const override { return "PING"; }
@@ -127,13 +129,14 @@ void BM_SimulationMessageRoundtrip(benchmark::State& state) {
   sim::Simulation simulation(1);
   Loopback transport;
   Sink sink(&simulation, &transport, 0);
+  transport.sink = &sink;
   const auto payload = std::make_shared<Ping>();
   for (auto _ : state) {
     sim::Envelope env;
     env.from = 0;
     env.to = 0;
     env.payload = payload;
-    simulation.schedule_delivery_in(1, &sink, std::move(env));
+    simulation.schedule_delivery_in(1, &transport, std::move(env));
     simulation.run_all();
   }
   state.SetItemsProcessed(state.iterations());

@@ -60,6 +60,7 @@ RunResult run_lyra(const RunConfig& config) {
   opts.config.retain_payloads = false;  // keep host memory flat
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
+  opts.durable_storage = !config.crash_restarts.empty();
   if (config.byzantine_silent > 0) {
     const std::size_t silent = config.byzantine_silent;
     opts.node_factory = [silent](sim::Simulation* sim, net::Network* net,
@@ -81,18 +82,31 @@ RunResult run_lyra(const RunConfig& config) {
     cluster.add_client_pool(i, config.clients_per_node, config.client_start,
                             config.measure_from, config.duration);
   }
+  for (const RunConfig::CrashRestart& cr : config.crash_restarts) {
+    cluster.schedule_crash_restart(cr.node, cr.crash_at, cr.restart_at);
+  }
   cluster.start();
   cluster.run_for(config.duration);
 
   RunResult r = collect_client_stats(cluster, config);
   r.prefix_consistent = cluster.ledgers_prefix_consistent();
   r.late_accepts = cluster.total_late_accepts();
+  r.restarts = cluster.restarts();
+  r.messages_dropped = cluster.network().messages_dropped();
+  for (NodeId i = 0; i < config.n; ++i) {
+    const NodeRecoveryInfo& info = cluster.recovery_info(i);
+    if (!info.happened) continue;
+    r.recovered_wal_records += info.stats.replayed_records;
+    if (info.stats.snapshot_loaded) ++r.recovered_snapshots;
+    r.recovery_cpu_ms += to_ms(info.recovery_cpu);
+  }
 
   Samples rounds;
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;
   for (NodeId i = static_cast<NodeId>(config.byzantine_silent);
        i < config.n; ++i) {
+    if (!cluster.node_alive(i)) continue;  // crashed, never restarted
     const auto& stats = cluster.node(i).stats();
     for (double v : stats.decide_rounds.values()) rounds.add(v);
     ok += stats.validations_ok;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "support/types.hpp"
 
@@ -32,6 +33,16 @@ struct RunConfig {
   /// goodput, not the NIC line rate).
   double bandwidth_bytes_per_sec = 125e6;
 
+  /// Crash-restart schedule (Lyra only). Each entry tears the node down at
+  /// `crash_at` and rebuilds it from its WAL + snapshots at `restart_at`
+  /// (absolute run times). Non-empty schedules enable durable storage.
+  struct CrashRestart {
+    NodeId node = 0;
+    TimeNs crash_at = 0;
+    TimeNs restart_at = 0;
+  };
+  std::vector<CrashRestart> crash_restarts;
+
   std::size_t f() const { return (n - 1) / 3; }
 };
 
@@ -47,6 +58,13 @@ struct RunResult {
   double max_decide_rounds = 0.0;        // Lyra only
   double validation_accept_rate = 1.0;   // Lyra only
   std::uint64_t proof_verifications = 0; // Pompē only
+
+  // Crash-restart runs (empty schedule leaves these zero):
+  std::uint64_t restarts = 0;
+  std::uint64_t recovered_wal_records = 0;  // replayed across all restarts
+  std::uint64_t recovered_snapshots = 0;    // restarts that found a snapshot
+  double recovery_cpu_ms = 0.0;             // simulated CPU rebuilding state
+  std::uint64_t messages_dropped = 0;       // sent to crashed nodes
 };
 
 /// Executes one run and aggregates client-side measurements.

@@ -1,5 +1,8 @@
 #include "harness/lyra_cluster.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "support/assert.hpp"
 
 namespace lyra::harness {
@@ -23,16 +26,74 @@ LyraCluster::LyraCluster(LyraClusterOptions options)
   network_ = std::make_unique<net::Network>(
       &sim_, options_.topology.make_latency_model(), options_.config.n);
 
+  disks_.resize(options_.config.n);
+  journals_.resize(options_.config.n);
+  recovery_info_.resize(options_.config.n);
   for (NodeId i = 0; i < options_.config.n; ++i) {
-    std::unique_ptr<core::LyraNode> node =
-        options_.node_factory
-            ? options_.node_factory(&sim_, network_.get(), i, options_.config,
-                                    &registry_)
-            : std::make_unique<core::LyraNode>(&sim_, network_.get(), i,
-                                               options_.config, &registry_);
+    std::unique_ptr<core::LyraNode> node = build_node(i);
+    if (options_.durable_storage) {
+      disks_[i] = std::make_unique<storage::MemDisk>();
+      journals_[i] = std::make_unique<storage::DurableJournal>(
+          disks_[i].get(), options_.journal);
+      node->set_journal(journals_[i].get());
+    }
     network_->attach(node.get());
     nodes_.push_back(std::move(node));
   }
+}
+
+std::unique_ptr<core::LyraNode> LyraCluster::build_node(NodeId id) {
+  return options_.node_factory
+             ? options_.node_factory(&sim_, network_.get(), id,
+                                     options_.config, &registry_)
+             : std::make_unique<core::LyraNode>(&sim_, network_.get(), id,
+                                                options_.config, &registry_);
+}
+
+void LyraCluster::crash_node(NodeId id) {
+  LYRA_ASSERT(options_.durable_storage,
+              "crash_node requires durable_storage (nothing to recover "
+              "from otherwise)");
+  LYRA_ASSERT(id < nodes_.size() && nodes_[id] != nullptr,
+              "crash of a node that is not running");
+  network_->detach(id);
+  // ~Process cancels the node's timers and pending pump; deliveries still
+  // in flight resolve through the network directory and drop.
+  nodes_[id].reset();
+  journals_[id].reset();
+}
+
+void LyraCluster::restart_node(NodeId id) {
+  LYRA_ASSERT(id < nodes_.size() && nodes_[id] == nullptr,
+              "restart of a live node");
+  const storage::RecoveredState recovered = storage::recover(*disks_[id]);
+  LYRA_ASSERT(!recovered.stats.wal_corrupt,
+              "WAL corruption on restart (torn tails are fine, CRC "
+              "mismatches are not)");
+
+  std::unique_ptr<core::LyraNode> node = build_node(id);
+  node->restore(recovered);
+  journals_[id] = std::make_unique<storage::DurableJournal>(
+      disks_[id].get(), options_.journal);
+  node->set_journal(journals_[id].get());
+
+  NodeRecoveryInfo& info = recovery_info_[id];
+  info.happened = true;
+  info.restarted_at = sim_.now();
+  info.recovery_cpu = node->cpu_time_used();
+  info.stats = recovered.stats;
+  ++restarts_;
+
+  network_->attach(node.get());
+  nodes_[id] = std::move(node);
+  nodes_[id]->on_start();
+}
+
+void LyraCluster::schedule_crash_restart(NodeId id, TimeNs crash_at,
+                                         TimeNs restart_at) {
+  LYRA_ASSERT(crash_at < restart_at, "restart must come after the crash");
+  sim_.schedule_at(crash_at, [this, id] { crash_node(id); });
+  sim_.schedule_at(restart_at, [this, id] { restart_node(id); });
 }
 
 client::ClientPool& LyraCluster::add_client_pool(NodeId target,
@@ -68,13 +129,19 @@ void LyraCluster::start() {
 }
 
 bool LyraCluster::ledgers_prefix_consistent() const {
-  // Compare every ledger against the longest one.
-  const core::LyraNode* longest = nodes_.front().get();
+  // Compare every ledger against the longest one; crashed (null) slots
+  // have no ledger to compare.
+  const core::LyraNode* longest = nullptr;
   for (const auto& n : nodes_) {
-    if (n->ledger().size() > longest->ledger().size()) longest = n.get();
+    if (n != nullptr &&
+        (longest == nullptr || n->ledger().size() > longest->ledger().size())) {
+      longest = n.get();
+    }
   }
+  if (longest == nullptr) return true;
   const auto& ref = longest->ledger();
   for (const auto& n : nodes_) {
+    if (n == nullptr) continue;
     const auto& l = n->ledger();
     if (l.size() > ref.size()) return false;
     for (std::size_t i = 0; i < l.size(); ++i) {
@@ -87,20 +154,26 @@ bool LyraCluster::ledgers_prefix_consistent() const {
 }
 
 std::size_t LyraCluster::min_ledger_length() const {
-  std::size_t len = nodes_.empty() ? 0 : nodes_.front()->ledger().size();
-  for (const auto& n : nodes_) len = std::min(len, n->ledger().size());
-  return len;
+  std::size_t len = SIZE_MAX;
+  for (const auto& n : nodes_) {
+    if (n != nullptr) len = std::min(len, n->ledger().size());
+  }
+  return len == SIZE_MAX ? 0 : len;
 }
 
 std::size_t LyraCluster::max_ledger_length() const {
   std::size_t len = 0;
-  for (const auto& n : nodes_) len = std::max(len, n->ledger().size());
+  for (const auto& n : nodes_) {
+    if (n != nullptr) len = std::max(len, n->ledger().size());
+  }
   return len;
 }
 
 std::uint64_t LyraCluster::total_late_accepts() const {
   std::uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->commit_state().late_accepts();
+  for (const auto& n : nodes_) {
+    if (n != nullptr) total += n->commit_state().late_accepts();
+  }
   return total;
 }
 

@@ -10,6 +10,9 @@
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
+#include "storage/disk.hpp"
+#include "storage/journal.hpp"
+#include "storage/recovery.hpp"
 
 namespace lyra::harness {
 
@@ -24,6 +27,21 @@ struct LyraClusterOptions {
   net::Topology topology;  // >= config.n placements; extras host clients
   std::uint64_t seed = 1;
   NodeFactory node_factory;  // default: correct LyraNode
+
+  /// Give every consensus node an in-memory disk with a WAL+snapshot
+  /// journal. Required for crash_node()/restart_node(); off by default so
+  /// benches keep the volatile fast path.
+  bool durable_storage = false;
+  storage::DurableJournal::Options journal;
+};
+
+/// What a node's last restart cost: recovery stats from disk plus the
+/// simulated CPU the node spent rebuilding its in-memory state.
+struct NodeRecoveryInfo {
+  bool happened = false;
+  TimeNs restarted_at = 0;
+  TimeNs recovery_cpu = 0;
+  storage::RecoveryStats stats;
 };
 
 /// Assembles a full Lyra deployment on the simulator: key registry,
@@ -58,6 +76,29 @@ class LyraCluster {
     sim_.run_until(sim_.now() + duration);
   }
 
+  // --- crash / restart (requires durable_storage) ---
+
+  /// Tears the node down mid-run: detaches it from the network (in-flight
+  /// and future messages to it drop) and destroys the process, which
+  /// cancels its timers. The node's disk survives for restart_node().
+  void crash_node(NodeId id);
+
+  /// Rebuilds the node from its disk (snapshot + WAL suffix), re-attaches
+  /// it, and starts it. The node re-probes distances and rejoins the
+  /// Commit protocol from its recovered state.
+  void restart_node(NodeId id);
+
+  /// Schedules a crash_node/restart_node pair at absolute simulation
+  /// times. Call before or during the run; restart_at must be > crash_at.
+  void schedule_crash_restart(NodeId id, TimeNs crash_at, TimeNs restart_at);
+
+  bool node_alive(NodeId id) const { return nodes_.at(id) != nullptr; }
+  storage::MemDisk* disk(NodeId id) { return disks_.at(id).get(); }
+  const NodeRecoveryInfo& recovery_info(NodeId id) const {
+    return recovery_info_.at(id);
+  }
+  std::uint64_t restarts() const { return restarts_; }
+
   // --- cross-node invariants (used by tests) ---
 
   /// SMR-Safety: every pair of ledgers must be prefix-related on
@@ -76,6 +117,8 @@ class LyraCluster {
   }
 
  private:
+  std::unique_ptr<core::LyraNode> build_node(NodeId id);
+
   LyraClusterOptions options_;
   sim::Simulation sim_;
   crypto::KeyRegistry registry_;
@@ -83,6 +126,12 @@ class LyraCluster {
   std::vector<std::unique_ptr<core::LyraNode>> nodes_;
   std::vector<std::unique_ptr<client::ClientPool>> pools_;
   std::vector<std::unique_ptr<sim::Process>> extra_processes_;
+  // Per consensus node; disks outlive crashes, journals are rebuilt on
+  // restart (a journal must never append to a torn pre-crash segment).
+  std::vector<std::unique_ptr<storage::MemDisk>> disks_;
+  std::vector<std::unique_ptr<storage::Journal>> journals_;
+  std::vector<NodeRecoveryInfo> recovery_info_;
+  std::uint64_t restarts_ = 0;
   NodeId next_id_;
   bool started_ = false;
 };

@@ -124,6 +124,39 @@ std::vector<AcceptedEntry> CommitState::take_committable() {
   return out;
 }
 
+std::vector<AcceptedEntry> CommitState::accepted_after(
+    SeqNum cursor_seq, const crypto::Digest& cursor_id) const {
+  std::vector<AcceptedEntry> out;
+  auto it = cursor_seq == kNoSeq
+                ? accepted_ordered_.begin()
+                : accepted_ordered_.upper_bound(std::pair{cursor_seq,
+                                                          cursor_id});
+  for (; it != accepted_ordered_.end(); ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<AcceptedEntry> CommitState::accepted_snapshot() const {
+  std::vector<AcceptedEntry> out;
+  out.reserve(accepted_ordered_.size());
+  for (const auto& [key, entry] : accepted_ordered_) out.push_back(entry);
+  return out;
+}
+
+void CommitState::restore_accepted(const std::vector<AcceptedEntry>& entries) {
+  for (const AcceptedEntry& entry : entries) add_accepted(entry);
+  delta_buffer_.clear();  // peers saw these before the crash
+  late_accepts_ = 0;      // the cursor is restored separately, afterwards
+}
+
+void CommitState::restore_extraction(SeqNum committed, SeqNum cursor_seq,
+                                     const crypto::Digest& cursor_id) {
+  committed_ = committed;
+  if (cursor_seq != kNoSeq) {
+    cursor_ = {cursor_seq, cursor_id};
+    handed_out_watermark_ = cursor_seq;
+  }
+}
+
 std::vector<AcceptedEntry> CommitState::drain_accepted_delta() {
   std::vector<AcceptedEntry> out;
   out.swap(delta_buffer_);

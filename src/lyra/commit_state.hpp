@@ -81,6 +81,28 @@ class CommitState {
   /// completeness); integration tests assert on it.
   std::uint64_t late_accepts() const { return late_accepts_; }
 
+  // --- durable storage hooks (storage snapshot / recovery) ---
+
+  /// The accepted set in (seq, cipher_id) order, for snapshotting.
+  std::vector<AcceptedEntry> accepted_snapshot() const;
+
+  /// Accepted entries strictly after the (seq, id) cursor — what a
+  /// restarted peer asks for in a ResyncReq (all of A when seq is kNoSeq).
+  std::vector<AcceptedEntry> accepted_after(SeqNum cursor_seq,
+                                            const crypto::Digest& cursor_id)
+      const;
+
+  /// Re-seeds the accepted set on a freshly constructed CommitState
+  /// (restart path). Does not populate the delta buffer: the recovered
+  /// entries were already announced to peers before the crash.
+  void restore_accepted(const std::vector<AcceptedEntry>& entries);
+
+  /// Restores the extraction cursor so already-committed entries are not
+  /// handed out a second time after restart. `cursor_seq`/`cursor_id`
+  /// identify the last extracted entry (kNoSeq when nothing was).
+  void restore_extraction(SeqNum committed, SeqNum cursor_seq,
+                          const crypto::Digest& cursor_id);
+
  private:
   const Config* config_;
 

@@ -67,6 +67,10 @@ void LyraNode::on_start() {
     set_timer(config_.instance_gc_idle, [this, self] { self(self); });
   };
   set_timer(config_.instance_gc_idle, [this, gc] { gc(gc); });
+
+  // A restarted incarnation pulls the accepted entries it slept through
+  // before extracting anything (restore() armed the gate).
+  if (resync_pending_) send_resync_request();
 }
 
 // ---------------------------------------------------------------------------
@@ -81,9 +85,9 @@ void LyraNode::on_message(const sim::Envelope& env) {
   const sim::Payload& p = *env.payload;
   const sim::MsgKind kind = p.kind();
 
-  // Every Lyra protocol message (kInit..kInitRelay) carries the
+  // Every Lyra protocol message (kInit..kResyncReply) carries the
   // Commit-protocol piggyback; client messages do not.
-  if (kind >= sim::MsgKind::kInit && kind <= sim::MsgKind::kInitRelay) {
+  if (kind >= sim::MsgKind::kInit && kind <= sim::MsgKind::kResyncReply) {
     apply_status(env.from, static_cast<const LyraMsg&>(p).status);
   }
 
@@ -123,6 +127,12 @@ void LyraNode::on_message(const sim::Envelope& env) {
       break;
     case sim::MsgKind::kInitRelay:
       handle_init_relay(env);
+      break;
+    case sim::MsgKind::kResyncReq:
+      handle_resync_req(env, static_cast<const ResyncReqMsg&>(p));
+      break;
+    case sim::MsgKind::kResyncReply:
+      handle_resync_reply(env, static_cast<const ResyncReplyMsg&>(p));
       break;
     case sim::MsgKind::kHeartbeat:  // piggyback already applied
     default:
@@ -199,6 +209,9 @@ void LyraNode::flush_partial_batch() {
 
 void LyraNode::propose_batch(PendingBatch batch) {
   const InstanceId inst{id(), next_proposal_index_++};
+  // Journal the consumed index before the INIT leaves: a restarted node
+  // must never reuse an instance id peers may have seen.
+  if (journal_ != nullptr) journal_->proposal(inst.index);
 
   // ordered-propose (Alg. 2): remember s_ref, predict S_t, obfuscate,
   // submit to binary consensus by broadcasting the INIT.
@@ -527,6 +540,45 @@ void LyraNode::handle_init_relay(const sim::Envelope& env) {
 }
 
 // ---------------------------------------------------------------------------
+// Post-restart accepted-set resync
+// ---------------------------------------------------------------------------
+
+void LyraNode::send_resync_request() {
+  if (!resync_pending_) return;
+  auto msg = std::make_shared<ResyncReqMsg>();
+  if (!ledger_.empty()) {
+    msg->cursor_seq = ledger_.back().seq;
+    msg->cursor_id = ledger_.back().cipher_id;
+  }
+  broadcast_msg(msg);
+  // Re-ask until f+1 peers answered (some may be down themselves).
+  set_timer(2 * config_.delta, [this] { send_resync_request(); });
+}
+
+void LyraNode::handle_resync_req(const sim::Envelope& env,
+                                 const ResyncReqMsg& m) {
+  auto reply = std::make_shared<ResyncReplyMsg>();
+  reply->entries = commit_.accepted_after(m.cursor_seq, m.cursor_id);
+  send_msg(env.from, reply);
+}
+
+void LyraNode::handle_resync_reply(const sim::Envelope& env,
+                                   const ResyncReplyMsg& m) {
+  for (const AcceptedEntry& entry : m.entries) merge_accepted(entry, env.from);
+  if (!resync_pending_ || env.from >= config_.n ||
+      resync_replied_[env.from]) {
+    return;
+  }
+  resync_replied_[env.from] = true;
+  if (++resync_replies_ <= config_.f) return;
+  // f+1 answers: at least one correct peer, whose accepted set covers every
+  // extractable entry (Lemma 6). The gate opens.
+  resync_pending_ = false;
+  LYRA_TRACE("resync", "accepted=" + std::to_string(commit_.accepted_count()));
+  try_commit();
+}
+
+// ---------------------------------------------------------------------------
 // DBFT binary consensus (Alg. 3)
 // ---------------------------------------------------------------------------
 
@@ -700,6 +752,10 @@ void LyraNode::decide(BocInstance& b, bool value) {
   b.decided_round = b.round;
   b.decided_at = now();
   stats_.decide_rounds.add(static_cast<double>(b.round));
+  LYRA_TRACE("decide", "inst=" + std::to_string(b.inst.proposer) + "/" +
+                           std::to_string(b.inst.index) +
+                           " value=" + std::to_string(value ? 1 : 0) +
+                           " round=" + std::to_string(b.round));
 
   const crypto::Digest cipher_id =
       b.init ? b.init->cipher.cipher_id() : crypto::kZeroDigest;
@@ -770,6 +826,7 @@ void LyraNode::apply_status(NodeId from, const StatusPiggyback& status) {
 
 void LyraNode::merge_accepted(const AcceptedEntry& entry, NodeId from) {
   if (!commit_.add_accepted(entry)) return;
+  if (journal_ != nullptr) journal_->accepted(entry);
   commit_.resolve_pending(entry.cipher_id);
   RevealRecord& rec = reveal_[entry.cipher_id];
   rec.inst = entry.inst;
@@ -790,6 +847,9 @@ void LyraNode::merge_accepted(const AcceptedEntry& entry, NodeId from) {
 
 void LyraNode::try_commit() {
   commit_.recompute();
+  // Post-restart: the accepted set may have holes until f+1 peers answered
+  // the resync; extracting across a hole would fork this ledger.
+  if (resync_pending_) return;
   const std::vector<AcceptedEntry> wave = commit_.take_committable();
   if (wave.empty()) return;
 
@@ -821,6 +881,8 @@ void LyraNode::try_commit() {
                       .add_i64(entry.seq)
                       .add(entry.cipher_id)
                       .digest();
+    if (journal_ != nullptr) journal_->committed(entry, rec.tx_count);
+    LYRA_TRACE("commit", "seq=" + std::to_string(entry.seq));
 
     if (!rec.have_cipher) continue;  // share + reveal catch up on arrival
     if (config_.obfuscate) {
@@ -835,6 +897,9 @@ void LyraNode::try_commit() {
     }
   }
   if (!shares_msg->shares.empty()) broadcast_msg(shares_msg);
+  if (journal_ != nullptr && journal_->snapshot_due()) {
+    journal_->write_snapshot(make_snapshot());
+  }
 }
 
 void LyraNode::on_cipher_for_committed(const crypto::Digest& cipher_id) {
@@ -893,6 +958,7 @@ void LyraNode::finalize_reveal(const crypto::Digest& cipher_id,
   RevealRecord& rec = reveal_[cipher_id];
   LYRA_ASSERT(rec.committed && !rec.revealed, "reveal before commit");
   rec.revealed = true;
+  if (journal_ != nullptr) journal_->revealed(cipher_id);
 
   CommittedBatch& cb = ledger_[rec.ledger_slot];
   cb.revealed_at = now();
@@ -904,6 +970,8 @@ void LyraNode::finalize_reveal(const crypto::Digest& cipher_id,
   if (cb.inst.proposer == id() && cb.committed_at > 0) {
     stats_.phase_reveal_ms.add(to_ms(now() - cb.committed_at));
   }
+  LYRA_TRACE("reveal", "seq=" + std::to_string(cb.seq) +
+                           " txs=" + std::to_string(cb.tx_count));
   if (reveal_hook_) reveal_hook_(cb);
   if (!config_.retain_payloads) {
     cb.payload.clear();
@@ -988,5 +1056,102 @@ Bytes LyraNode::value_id_bytes(const crypto::Digest& value_id) const {
   return Bytes(value_id.begin(), value_id.end());
 }
 
+// ---------------------------------------------------------------------------
+// Durability (src/storage)
+// ---------------------------------------------------------------------------
+
+storage::Snapshot LyraNode::make_snapshot() const {
+  storage::Snapshot snap;
+  snap.node = id();
+  snap.status_counter = status_counter_;
+  snap.next_proposal_index = next_proposal_index_;
+  snap.committed = commit_.committed();
+  // Ledger appends happen in extraction order, so the last ledger entry is
+  // exactly the CommitState cursor.
+  if (!ledger_.empty()) {
+    snap.cursor_seq = ledger_.back().seq;
+    snap.cursor_id = ledger_.back().cipher_id;
+  }
+  snap.chain_hash = chain_hash_;
+  snap.accepted = commit_.accepted_snapshot();
+  snap.ledger.reserve(ledger_.size());
+  for (const CommittedBatch& cb : ledger_) {
+    storage::LedgerEntryRecord rec;
+    rec.entry.cipher_id = cb.cipher_id;
+    rec.entry.seq = cb.seq;
+    rec.entry.inst = cb.inst;
+    rec.tx_count = cb.tx_count;
+    rec.revealed = cb.revealed_at > 0;
+    const auto it = reveal_.find(cb.cipher_id);
+    rec.share_released = it != reveal_.end() && it->second.share_broadcast;
+    snap.ledger.push_back(rec);
+  }
+  return snap;
+}
+
+void LyraNode::restore(const storage::RecoveredState& recovered) {
+  LYRA_ASSERT(ledger_.empty() && commit_.accepted_count() == 0,
+              "restore on a node that already ran");
+  // Any restarted incarnation — even one whose disk was empty — slept
+  // through accepted_delta broadcasts; gate extraction until peers fill
+  // the holes (see send_resync_request).
+  resync_pending_ = true;
+  resync_replied_.assign(config_.n, false);
+  resync_replies_ = 0;
+  if (!recovered.found) return;
+
+  // New status-counter epoch: peers that saw pre-crash counters must never
+  // treat this incarnation's piggybacks as stale, and the recovered value
+  // is a lower bound anyway (the counter is snapshotted, not WAL'd).
+  status_counter_ = recovered.status_counter + (1ULL << 32);
+  next_proposal_index_ = recovered.next_proposal_index;
+  commit_.restore_accepted(recovered.accepted);
+
+  ledger_.reserve(recovered.ledger.size());
+  for (const storage::LedgerEntryRecord& rec : recovered.ledger) {
+    RevealRecord& rr = reveal_[rec.entry.cipher_id];
+    rr.inst = rec.entry.inst;
+    rr.seq = rec.entry.seq;
+    rr.tx_count = rec.tx_count;
+    rr.committed = true;
+    // The share (if released pre-crash) is public; never re-derive or
+    // re-release one the old incarnation did not. The cipher itself is
+    // not persisted — a ReqInit pull refills it if a reveal is still due.
+    rr.share_broadcast = rec.share_released;
+    rr.revealed = rec.revealed;
+    rr.ledger_slot = ledger_.size();
+
+    CommittedBatch cb;
+    cb.seq = rec.entry.seq;
+    cb.inst = rec.entry.inst;
+    cb.cipher_id = rec.entry.cipher_id;
+    cb.tx_count = rec.tx_count;
+    cb.committed_at = now();  // recovery instant; original times are gone
+    cb.revealed_at = rec.revealed ? now() : 0;
+    ledger_.push_back(std::move(cb));
+
+    // Rebuild the running chain hash link by link (real recovery work:
+    // charge it to the CPU model).
+    charge(ccost(config_.costs.hash_cost(72)));
+    chain_hash_ = crypto::Hasher()
+                      .add(chain_hash_)
+                      .add_i64(rec.entry.seq)
+                      .add(rec.entry.cipher_id)
+                      .digest();
+    ++stats_.committed_batches;
+    if (rec.revealed) {
+      ++stats_.revealed_batches;
+      stats_.committed_txs += rec.tx_count;
+    }
+  }
+  if (!ledger_.empty()) {
+    commit_.restore_extraction(ledger_.back().seq, ledger_.back().seq,
+                               ledger_.back().cipher_id);
+  }
+  LYRA_TRACE("recover",
+             "ledger=" + std::to_string(ledger_.size()) +
+                 " accepted=" + std::to_string(commit_.accepted_count()) +
+                 " replayed=" + std::to_string(recovered.stats.replayed_records));
+}
 
 }  // namespace lyra::core

@@ -15,6 +15,8 @@
 #include "ordering/distance_table.hpp"
 #include "ordering/ordering_clock.hpp"
 #include "sim/process.hpp"
+#include "storage/journal.hpp"
+#include "storage/recovery.hpp"
 #include "support/stats.hpp"
 
 namespace lyra::core {
@@ -85,6 +87,8 @@ class LyraNode : public sim::Process {
   const ordering::DistanceTable& distances() const { return distances_; }
   crypto::Digest chain_hash() const { return chain_hash_; }
   bool warmed_up() const { return warmed_up_; }
+  /// True while a restarted node still gates extraction on peer resync.
+  bool resync_pending() const { return resync_pending_; }
   SeqNum clock_now() const { return clock_.now(); }
   std::size_t live_instances() const { return instances_.size(); }
 
@@ -93,6 +97,24 @@ class LyraNode : public sim::Process {
   void set_reveal_hook(std::function<void(const CommittedBatch&)> hook) {
     reveal_hook_ = std::move(hook);
   }
+
+  // --- durability (src/storage) ---
+
+  /// Installs the durability backend (nullptr = volatile node, the
+  /// default; hot paths then pay only an untaken branch). The journal must
+  /// outlive the node.
+  void set_journal(storage::Journal* journal) { journal_ = journal; }
+  storage::Journal* journal() const { return journal_; }
+
+  /// Point-in-time image of the durable state, fed to
+  /// Journal::write_snapshot.
+  storage::Snapshot make_snapshot() const;
+
+  /// Re-seeds a freshly constructed node from recovered on-disk state.
+  /// Call before on_start(): rebuilds the accepted set, ledger, chain
+  /// hash, and reveal bookkeeping, and skips the status counter to a new
+  /// epoch so this incarnation's piggybacks never look stale to peers.
+  void restore(const storage::RecoveredState& recovered);
 
  protected:
   void on_message(const sim::Envelope& env) override;
@@ -132,6 +154,12 @@ class LyraNode : public sim::Process {
   void handle_probe_reply(const sim::Envelope& env, const ProbeReplyMsg& m);
   void handle_req_init(const sim::Envelope& env);
   void handle_init_relay(const sim::Envelope& env);
+  void handle_resync_req(const sim::Envelope& env, const ResyncReqMsg& m);
+  void handle_resync_reply(const sim::Envelope& env, const ResyncReplyMsg& m);
+
+  /// Broadcasts the post-restart accepted-set pull; re-arms itself until
+  /// f+1 peers answered (see ResyncReqMsg in messages.hpp).
+  void send_resync_request();
 
   // --- BOC machinery ---
   BocInstance& join_instance(const InstanceId& inst);
@@ -218,6 +246,13 @@ class LyraNode : public sim::Process {
   std::uint64_t status_counter_ = 0;
   bool commit_poll_scheduled_ = false;
   std::function<void(const CommittedBatch&)> reveal_hook_;
+  storage::Journal* journal_ = nullptr;
+
+  // Post-restart resync gate: no commit extraction until f+1 peers
+  // answered the accepted-set pull (restore() arms it, see lyra_node.cpp).
+  bool resync_pending_ = false;
+  std::vector<bool> resync_replied_;
+  std::size_t resync_replies_ = 0;
 
   static constexpr std::uint32_t kMaxResubmissions = 10'000;
 };

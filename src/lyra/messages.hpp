@@ -193,6 +193,32 @@ struct InitRelayMsg final : LyraMsg {
   }
 };
 
+/// Post-restart accepted-set resync request: a recovered node broadcasts
+/// its extraction cursor and peers answer with every accepted entry above
+/// it. One-shot accepted_delta piggybacks broadcast while the node was
+/// down are gone for good; without this pull a recovered node could
+/// extract past a hole in its accepted set and fork its ledger. The
+/// requester gates commit extraction until f+1 peers answered — at least
+/// one is correct, and Lemma 6 (completeness) puts every extractable
+/// entry in any correct peer's accepted set.
+struct ResyncReqMsg final : LyraMsg {
+  SeqNum cursor_seq = kNoSeq;   // last extracted entry, kNoSeq when none
+  crypto::Digest cursor_id{};
+
+  const char* name() const override { return "RESYNC_REQ"; }
+  MsgKind kind() const override { return MsgKind::kResyncReq; }
+  std::size_t wire_size() const override { return 120; }
+};
+
+/// ...and the answer: the responder's accepted entries above the cursor.
+struct ResyncReplyMsg final : LyraMsg {
+  std::vector<AcceptedEntry> entries;
+
+  const char* name() const override { return "RESYNC_REPLY"; }
+  MsgKind kind() const override { return MsgKind::kResyncReply; }
+  std::size_t wire_size() const override { return 88 + entries.size() * 52; }
+};
+
 /// Client -> node transaction submission. `txs` carries real payloads in
 /// the examples; the benchmark workload submits compact aggregates
 /// (`count` transactions of 32 bytes each) to keep host memory flat.

@@ -21,6 +21,12 @@ void Network::attach(sim::Process* process) {
   processes_[id] = process;
 }
 
+void Network::detach(NodeId id) {
+  LYRA_ASSERT(id < processes_.size() && processes_[id] != nullptr,
+              "detach of a process that was never attached");
+  processes_[id] = nullptr;
+}
+
 TimeNs Network::nic_book(NodeId from, std::uint64_t bytes) {
   if (bandwidth_ <= 0.0) return 0;
   if (nic_floor_.size() <= from) nic_floor_.resize(from + 1, 0);
@@ -34,8 +40,13 @@ TimeNs Network::nic_book(NodeId from, std::uint64_t bytes) {
 
 void Network::deliver_one(NodeId from, NodeId to, sim::PayloadPtr payload,
                           TimeNs egress_delay) {
-  LYRA_ASSERT(to < processes_.size() && processes_[to] != nullptr,
-              "send to unknown process");
+  LYRA_ASSERT(to < processes_.size(), "send to unknown process");
+  if (processes_[to] == nullptr) {
+    // Destination is down (crashed slot): the connection attempt fails and
+    // the message is lost, as with TCP to a dead host.
+    ++messages_dropped_;
+    return;
+  }
   sim::Envelope env;
   env.from = from;
   env.to = to;
@@ -59,7 +70,7 @@ void Network::deliver_one(NodeId from, NodeId to, sim::PayloadPtr payload,
   delay = deliver_at - sim_->now();
 
   ++messages_delivered_;
-  sim_->schedule_delivery_in(delay, processes_[to], std::move(env));
+  sim_->schedule_delivery_in(delay, this, std::move(env));
 }
 
 void Network::send(NodeId from, NodeId to, sim::PayloadPtr payload) {

@@ -22,7 +22,7 @@ namespace lyra::net {
 /// Bandwidth is not a modeled bottleneck (the paper's 32-byte transactions
 /// batched at 800 stay well under WAN link capacity); CPU is, via the
 /// Process cost model.
-class Network final : public sim::Transport {
+class Network final : public sim::Transport, public sim::ProcessDirectory {
  public:
   /// `consensus_count` processes participate in broadcast (ids 0..n-1);
   /// clients and attackers attach with higher ids.
@@ -30,7 +30,20 @@ class Network final : public sim::Transport {
           std::size_t consensus_count);
 
   /// Registers a process under its id. Ids must be dense before run start.
+  /// Re-attaching into a slot vacated by detach() models a node restart.
   void attach(sim::Process* process);
+
+  /// Vacates a process slot (simulated crash). Messages already in flight
+  /// to the node, and any sent while the slot stays vacant, are dropped.
+  /// The FIFO channel floors survive, so a restarted node's channels keep
+  /// their ordering guarantees.
+  void detach(NodeId id);
+
+  /// sim::ProcessDirectory: deliveries resolve their destination here at
+  /// delivery time, so a detached node's in-flight messages fall away.
+  sim::Process* process_at(NodeId id) const override {
+    return id < processes_.size() ? processes_[id] : nullptr;
+  }
 
   void send(NodeId from, NodeId to, sim::PayloadPtr payload) override;
   void send_all(NodeId from, sim::PayloadPtr payload) override;
@@ -55,6 +68,9 @@ class Network final : public sim::Transport {
 
   std::uint64_t messages_delivered() const { return messages_delivered_; }
 
+  /// Messages addressed to a vacant (crashed) slot at send time.
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
  private:
   /// Books `bytes` on the sender's NIC; returns the egress delay.
   TimeNs nic_book(NodeId from, std::uint64_t bytes);
@@ -67,6 +83,7 @@ class Network final : public sim::Transport {
   std::vector<sim::Process*> processes_;
   Adversary* adversary_ = nullptr;
   std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
   // FIFO floor per directed channel, keyed by (from << 32) | to.
   std::unordered_map<std::uint64_t, TimeNs> channel_floor_;
   double bandwidth_ = 0.0;  // bytes/sec; 0 = unlimited

@@ -241,6 +241,8 @@ void PompeNode::handle_sequence(const sim::Envelope& env,
   if (ts_values[config_.f] != m.assigned_ts) return;  // median mismatch
 
   seen_sequenced_.insert(m.batch_digest);
+  LYRA_TRACE("sequence", "ts=" + std::to_string(m.assigned_ts) +
+                             " proposer=" + std::to_string(m.proposer));
   hotstuff::BlockEntry entry;
   entry.batch_digest = m.batch_digest;
   entry.assigned_ts = m.assigned_ts;
@@ -277,6 +279,8 @@ void PompeNode::on_block_commit(const hotstuff::Block& block) {
     ledger_.push_back(pc);
     ++stats_.committed_batches;
     stats_.committed_txs += e.tx_count;
+    LYRA_TRACE("commit", "ts=" + std::to_string(e.assigned_ts) +
+                             " height=" + std::to_string(block.height));
     if (commit_hook_) commit_hook_(pc);
 
     // Closed-loop client notification by the batch's proposer.

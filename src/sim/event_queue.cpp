@@ -11,9 +11,10 @@ std::uint64_t EventQueue::schedule_at(TimeNs at, Callback fn) {
   return id;
 }
 
-void EventQueue::schedule_delivery(TimeNs at, Process* dest, Envelope env) {
+void EventQueue::schedule_delivery(TimeNs at, ProcessDirectory* dir,
+                                   Envelope env) {
   const std::uint64_t id = next_id_++;
-  heap_.push(Event{at, id, Callback{}, dest, std::move(env)});
+  heap_.push(Event{at, id, Callback{}, dir, std::move(env)});
 }
 
 void EventQueue::cancel(std::uint64_t id) {
@@ -46,9 +47,15 @@ TimeNs EventQueue::run_next() {
   // Move the event out before popping: running it may schedule more.
   Event ev = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
-  if (ev.dest != nullptr) {
-    ev.env.delivered_at = ev.at;
-    ev.dest->deliver(std::move(ev.env));
+  if (ev.dir != nullptr) {
+    // Resolve the destination now: the process registered at send time may
+    // have crashed (slot vacant -> drop) or restarted (new object).
+    if (Process* dest = ev.dir->process_at(ev.env.to); dest != nullptr) {
+      ev.env.delivered_at = ev.at;
+      dest->deliver(std::move(ev.env));
+    } else {
+      ++deliveries_dropped_;
+    }
   } else {
     ev.fn();
   }

@@ -13,6 +13,18 @@ namespace lyra::sim {
 
 class Process;
 
+/// Resolves a process id to the process currently registered under it (or
+/// nullptr while the slot is vacant). Implemented by net::Network. Message
+/// deliveries hold a directory + id instead of a raw Process*, so a process
+/// can be torn down (simulated crash) and re-registered (restart) while
+/// deliveries to it are in flight: the destination is resolved at delivery
+/// time, and a vacant slot simply drops the message.
+class ProcessDirectory {
+ public:
+  virtual ~ProcessDirectory() = default;
+  virtual Process* process_at(NodeId id) const = 0;
+};
+
 /// Deterministic discrete-event queue. Events at equal times fire in
 /// insertion order (a monotone sequence number breaks ties), so a run is a
 /// pure function of the initial seed and configuration.
@@ -28,8 +40,9 @@ class EventQueue {
   /// Schedules `fn` at absolute time `at`. Returns an id usable by cancel().
   std::uint64_t schedule_at(TimeNs at, Callback fn);
 
-  /// Schedules the delivery of `env` to `dest` at `at` (not cancellable).
-  void schedule_delivery(TimeNs at, Process* dest, Envelope env);
+  /// Schedules the delivery of `env` (to `env.to`, resolved through `dir`
+  /// at delivery time) at `at`. Not cancellable.
+  void schedule_delivery(TimeNs at, ProcessDirectory* dir, Envelope env);
 
   /// Cancels a scheduled callback event. Cancelling an already-fired or
   /// unknown id is a harmless no-op.
@@ -45,12 +58,16 @@ class EventQueue {
   /// Must not be called on an empty queue.
   TimeNs run_next();
 
+  /// Deliveries whose destination slot was vacant at delivery time
+  /// (messages in flight to a crashed process).
+  std::uint64_t deliveries_dropped() const { return deliveries_dropped_; }
+
  private:
   struct Event {
     TimeNs at;
     std::uint64_t id;
     Callback fn;     // empty for deliveries
-    Process* dest = nullptr;
+    ProcessDirectory* dir = nullptr;
     Envelope env;
 
     bool operator>(const Event& other) const {
@@ -66,6 +83,7 @@ class EventQueue {
       heap_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_id_ = 0;
+  std::uint64_t deliveries_dropped_ = 0;
 };
 
 }  // namespace lyra::sim

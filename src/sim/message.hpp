@@ -24,6 +24,8 @@ enum class MsgKind : std::uint16_t {
   kProbeReply,
   kReqInit,
   kInitRelay,
+  kResyncReq,
+  kResyncReply,
   kSubmit,
   kCommitNotify,
   // hotstuff — 2xx

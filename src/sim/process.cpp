@@ -10,6 +10,11 @@ Process::Process(Simulation* sim, Transport* transport, NodeId id)
               "process needs a simulation and a transport");
 }
 
+Process::~Process() {
+  for (const auto& [token, event_id] : live_timers_) sim_->cancel(event_id);
+  if (pump_scheduled_) sim_->cancel(pump_event_);
+}
+
 void Process::deliver(Envelope env) {
   if (!pump_scheduled_ && inbox_.empty() &&
       sim_->now() >= cpu_busy_until_) {
@@ -27,7 +32,7 @@ void Process::schedule_pump() {
   if (pump_scheduled_) return;
   pump_scheduled_ = true;
   const TimeNs at = std::max(sim_->now(), cpu_busy_until_);
-  sim_->schedule_at(at, [this] { pump(); });
+  pump_event_ = sim_->schedule_at(at, [this] { pump(); });
 }
 
 void Process::pump() {
@@ -66,10 +71,23 @@ void Process::charge(TimeNs cost) {
 }
 
 Process::TimerId Process::set_timer(TimeNs delay, std::function<void()> fn) {
-  return sim_->schedule_in(delay, std::move(fn));
+  const TimerId token = next_timer_token_++;
+  const std::uint64_t event_id =
+      sim_->schedule_in(delay, [this, token, fn = std::move(fn)] {
+        // Drop the bookkeeping entry before running: fn may re-arm a timer.
+        live_timers_.erase(token);
+        fn();
+      });
+  live_timers_.emplace(token, event_id);
+  return token;
 }
 
-void Process::cancel_timer(TimerId id) { sim_->cancel(id); }
+void Process::cancel_timer(TimerId id) {
+  const auto it = live_timers_.find(id);
+  if (it == live_timers_.end()) return;  // already fired or cancelled
+  sim_->cancel(it->second);
+  live_timers_.erase(it);
+}
 
 void Process::trace(std::string category, std::string text) {
   sim_->trace().record(sim_->now(), id_, std::move(category),

@@ -2,10 +2,19 @@
 
 #include <deque>
 #include <functional>
+#include <unordered_map>
 
 #include "sim/message.hpp"
 #include "sim/simulation.hpp"
 #include "support/types.hpp"
+
+/// Tracing guard for hot paths: the argument expressions (usually string
+/// concatenations) are evaluated only when the trace sink is enabled.
+/// Usable inside any Process member function.
+#define LYRA_TRACE(category, text)                \
+  do {                                            \
+    if (this->tracing()) this->trace((category), (text)); \
+  } while (0)
 
 namespace lyra::sim {
 
@@ -49,7 +58,11 @@ class Process {
   using TimerId = std::uint64_t;
 
   Process(Simulation* sim, Transport* transport, NodeId id);
-  virtual ~Process() = default;
+
+  /// Cancels every outstanding timer and the pending pump event: those
+  /// callbacks capture `this`, so they must not outlive the process. This
+  /// is what makes mid-run teardown (simulated crash) safe.
+  virtual ~Process();
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -83,7 +96,8 @@ class Process {
   /// Accounts `cost` of CPU work for the current handler or timer.
   void charge(TimeNs cost);
 
-  /// One-shot timer. The callback does not run if cancelled first.
+  /// One-shot timer. The callback does not run if cancelled first, and all
+  /// pending timers die with the process.
   TimerId set_timer(TimeNs delay, std::function<void()> fn);
   void cancel_timer(TimerId id);
 
@@ -91,6 +105,11 @@ class Process {
   Transport& transport() { return *transport_; }
 
   void trace(std::string category, std::string text);
+
+ public:
+  /// Cheap check used by LYRA_TRACE to skip building trace strings on hot
+  /// paths when no sink is listening.
+  bool tracing() const { return sim_->trace().enabled(); }
 
  private:
   void schedule_pump();
@@ -102,7 +121,13 @@ class Process {
 
   std::deque<Envelope> inbox_;
   bool pump_scheduled_ = false;
+  std::uint64_t pump_event_ = 0;
   TimeNs cpu_busy_until_ = 0;
+
+  // Timer token -> underlying event id, for cancellation (explicit or at
+  // destruction). Tokens are never reused within a process lifetime.
+  std::unordered_map<TimerId, std::uint64_t> live_timers_;
+  TimerId next_timer_token_ = 1;
 
   std::uint64_t messages_processed_ = 0;
   std::uint64_t messages_sent_ = 0;

@@ -32,9 +32,12 @@ class Simulation {
 
   void cancel(std::uint64_t event_id) { queue_.cancel(event_id); }
 
-  /// Message-delivery fast path: no callback allocation per message.
-  void schedule_delivery_in(TimeNs delay, Process* dest, Envelope env) {
-    queue_.schedule_delivery(now_ + delay, dest, std::move(env));
+  /// Message-delivery fast path: no callback allocation per message. The
+  /// destination (env.to) is resolved through `dir` at delivery time, so
+  /// crashed processes drop their in-flight messages instead of dangling.
+  void schedule_delivery_in(TimeNs delay, ProcessDirectory* dir,
+                            Envelope env) {
+    queue_.schedule_delivery(now_ + delay, dir, std::move(env));
   }
 
   /// Runs events until the queue drains or the clock passes `deadline`.

@@ -1,0 +1,38 @@
+#include "storage/crc32.hpp"
+
+#include <array>
+
+namespace lyra::storage {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB8'8320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, BytesView data) {
+  for (std::uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(BytesView data) {
+  return crc32_final(crc32_update(kCrc32Init, data));
+}
+
+}  // namespace lyra::storage

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace lyra::storage {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// framing every WAL record and snapshot body. Detects torn writes and
+/// bit rot before a corrupted record can reach the recovery path.
+std::uint32_t crc32(BytesView data);
+
+/// Incremental form: feed `crc32_update` the previous value (start from
+/// kCrc32Init) and finalize with `crc32_final`.
+constexpr std::uint32_t kCrc32Init = 0xFFFF'FFFFu;
+std::uint32_t crc32_update(std::uint32_t state, BytesView data);
+constexpr std::uint32_t crc32_final(std::uint32_t state) { return ~state; }
+
+}  // namespace lyra::storage

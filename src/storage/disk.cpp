@@ -1,0 +1,49 @@
+#include "storage/disk.hpp"
+
+namespace lyra::storage {
+
+bool MemDisk::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+Bytes MemDisk::read(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? Bytes{} : it->second;
+}
+
+void MemDisk::append(const std::string& name, BytesView data) {
+  Bytes& file = files_[name];
+  file.insert(file.end(), data.begin(), data.end());
+  bytes_written_ += data.size();
+}
+
+void MemDisk::write_atomic(const std::string& name, BytesView data) {
+  files_[name] = Bytes(data.begin(), data.end());
+  bytes_written_ += data.size();
+}
+
+void MemDisk::remove(const std::string& name) { files_.erase(name); }
+
+std::vector<std::string> MemDisk::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bytes] : files_) names.push_back(name);
+  return names;
+}
+
+void MemDisk::truncate(const std::string& name, std::size_t size) {
+  const auto it = files_.find(name);
+  if (it != files_.end() && it->second.size() > size) {
+    it->second.resize(size);
+  }
+}
+
+void MemDisk::corrupt(const std::string& name, std::size_t offset,
+                      std::uint8_t xor_mask) {
+  const auto it = files_.find(name);
+  if (it != files_.end() && offset < it->second.size()) {
+    it->second[offset] ^= xor_mask;
+  }
+}
+
+}  // namespace lyra::storage

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace lyra::storage {
+
+/// Minimal durable-medium abstraction under the WAL and snapshot store: a
+/// flat namespace of named append-only byte files. Two operations matter
+/// for crash safety — `append` (sequential WAL writes) and `write_atomic`
+/// (rename-into-place snapshot publication). The discrete-event harness
+/// uses the in-memory backend below so a "disk" survives the teardown of
+/// the node process that owned it; a production deployment would map this
+/// onto O_DIRECT files plus fsync without touching any caller.
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  virtual bool exists(const std::string& name) const = 0;
+
+  /// Whole-file read; empty when missing (callers check exists()).
+  virtual Bytes read(const std::string& name) const = 0;
+
+  /// Appends to the end of `name`, creating it if needed.
+  virtual void append(const std::string& name, BytesView data) = 0;
+
+  /// Replaces `name` atomically: after a crash either the old or the new
+  /// content is visible, never a mix.
+  virtual void write_atomic(const std::string& name, BytesView data) = 0;
+
+  virtual void remove(const std::string& name) = 0;
+
+  /// All file names in lexicographic order.
+  virtual std::vector<std::string> list() const = 0;
+};
+
+/// In-memory Disk: the simulation's stand-in for a node-local SSD. Owned by
+/// the harness (not the node process), so its content survives a simulated
+/// crash. The fault-injection helpers let tests model torn tails and bit
+/// rot without reaching into WAL internals.
+class MemDisk final : public Disk {
+ public:
+  bool exists(const std::string& name) const override;
+  Bytes read(const std::string& name) const override;
+  void append(const std::string& name, BytesView data) override;
+  void write_atomic(const std::string& name, BytesView data) override;
+  void remove(const std::string& name) override;
+  std::vector<std::string> list() const override;
+
+  // --- fault injection (tests) ---
+
+  /// Drops everything past `size` (a torn write at the tail).
+  void truncate(const std::string& name, std::size_t size);
+
+  /// XORs one byte (bit rot). No-op when out of range.
+  void corrupt(const std::string& name, std::size_t offset,
+               std::uint8_t xor_mask = 0xFF);
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::map<std::string, Bytes> files_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace lyra::storage

@@ -1,0 +1,114 @@
+#include "storage/journal.hpp"
+
+#include <algorithm>
+
+#include "storage/codec.hpp"
+#include "support/assert.hpp"
+
+namespace lyra::storage {
+
+Bytes encode_accepted_record(const core::AcceptedEntry& entry) {
+  Bytes out;
+  out.reserve(52);
+  append_digest(out, entry.cipher_id);
+  append_i64(out, entry.seq);
+  append_instance(out, entry.inst);
+  return out;
+}
+
+bool decode_accepted_record(BytesView payload, core::AcceptedEntry& out) {
+  ByteReader r(payload);
+  out.cipher_id = r.digest();
+  out.seq = r.i64();
+  out.inst = r.instance();
+  return r.ok() && r.remaining() == 0;
+}
+
+Bytes encode_committed_record(const core::AcceptedEntry& entry,
+                              std::uint32_t tx_count) {
+  Bytes out = encode_accepted_record(entry);
+  append_u32(out, tx_count);
+  return out;
+}
+
+bool decode_committed_record(BytesView payload, core::AcceptedEntry& out,
+                             std::uint32_t& tx_count) {
+  ByteReader r(payload);
+  out.cipher_id = r.digest();
+  out.seq = r.i64();
+  out.inst = r.instance();
+  tx_count = r.u32();
+  return r.ok() && r.remaining() == 0;
+}
+
+DurableJournal::DurableJournal(Disk* disk)
+    : DurableJournal(disk, Options{}) {}
+
+DurableJournal::DurableJournal(Disk* disk, Options options)
+    : disk_(disk), options_(options), wal_(disk, options.wal) {
+  LYRA_ASSERT(options_.snapshot_every_committed > 0,
+              "snapshot cadence must be positive");
+  // Continue the snapshot numbering past anything already on disk.
+  for (const std::string& name : disk_->list()) {
+    std::uint64_t index = 0;
+    if (parse_snapshot_name(name, index)) {
+      next_snapshot_index_ = std::max(next_snapshot_index_, index + 1);
+    }
+  }
+}
+
+void DurableJournal::append(WalRecordType type, BytesView payload) {
+  wal_.append(static_cast<std::uint8_t>(type), payload);
+  ++stats_.wal_records;
+  stats_.wal_bytes = wal_.bytes_appended();
+}
+
+void DurableJournal::accepted(const core::AcceptedEntry& entry) {
+  append(WalRecordType::kAccepted, encode_accepted_record(entry));
+}
+
+void DurableJournal::committed(const core::AcceptedEntry& entry,
+                               std::uint32_t tx_count) {
+  append(WalRecordType::kCommitted, encode_committed_record(entry, tx_count));
+  ++committed_since_snapshot_;
+}
+
+void DurableJournal::revealed(const crypto::Digest& cipher_id) {
+  Bytes payload;
+  payload.reserve(cipher_id.size());
+  append_digest(payload, cipher_id);
+  append(WalRecordType::kRevealed, payload);
+}
+
+void DurableJournal::proposal(std::uint64_t index) {
+  Bytes payload;
+  payload.reserve(8);
+  append_u64(payload, index);
+  append(WalRecordType::kProposal, payload);
+}
+
+bool DurableJournal::snapshot_due() const {
+  return committed_since_snapshot_ >= options_.snapshot_every_committed;
+}
+
+void DurableJournal::write_snapshot(const Snapshot& snap) {
+  Snapshot stamped = snap;
+  // Everything up to here is inside the snapshot; replay resumes at the
+  // next (fresh) segment.
+  stamped.wal_start_segment = wal_.seal();
+  disk_->write_atomic(snapshot_name(next_snapshot_index_),
+                      encode_snapshot(stamped));
+  // GC: older snapshots and the WAL prefix they covered are superseded.
+  for (const std::string& name : disk_->list()) {
+    std::uint64_t index = 0;
+    if (parse_snapshot_name(name, index) && index < next_snapshot_index_) {
+      disk_->remove(name);
+    }
+  }
+  wal_.drop_segments_before(stamped.wal_start_segment);
+  ++next_snapshot_index_;
+  ++stats_.snapshots_written;
+  committed_since_snapshot_ = 0;
+}
+
+}  // namespace lyra::storage

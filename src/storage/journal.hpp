@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+
+#include "storage/snapshot.hpp"
+#include "storage/wal.hpp"
+
+namespace lyra::storage {
+
+/// WAL record types written by the journal (see wal.hpp for framing).
+enum class WalRecordType : std::uint8_t {
+  kAccepted = 1,   ///< entry joined the accepted set A
+  kCommitted = 2,  ///< entry appended to the committed prefix (ledger)
+  kRevealed = 3,   ///< committed entry's payload was reconstructed
+  kProposal = 4,   ///< own proposal index consumed (never reuse instance ids)
+};
+
+/// The node-facing durability interface. LyraNode calls these hooks at the
+/// exact points where its logical state machine advances; the default
+/// implementations do nothing, so this concrete base *is* the no-op
+/// backend (benches and existing tests run with a null journal and pay
+/// only an untaken branch).
+class Journal {
+ public:
+  virtual ~Journal() = default;
+
+  virtual void accepted(const core::AcceptedEntry& entry) { (void)entry; }
+  virtual void committed(const core::AcceptedEntry& entry,
+                         std::uint32_t tx_count) {
+    (void)entry;
+    (void)tx_count;
+  }
+  virtual void revealed(const crypto::Digest& cipher_id) { (void)cipher_id; }
+  virtual void proposal(std::uint64_t index) { (void)index; }
+
+  /// True when enough has been journaled since the last snapshot that the
+  /// node should hand over a fresh one.
+  virtual bool snapshot_due() const { return false; }
+  virtual void write_snapshot(const Snapshot& snap) { (void)snap; }
+};
+
+struct DurableJournalStats {
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshots_written = 0;
+};
+
+/// WAL + snapshot backend over a Disk. Every hook appends one framed
+/// record synchronously (write-ahead: the record is durable in the same
+/// simulated instant the state change happens, the discrete-event
+/// equivalent of fsync-before-ack). Snapshots are cut every
+/// `snapshot_every_committed` ledger appends; each snapshot seals the
+/// current WAL segment, records the suffix start, and garbage-collects
+/// segments and snapshots it supersedes.
+class DurableJournal final : public Journal {
+ public:
+  struct Options {
+    std::uint64_t snapshot_every_committed = 64;
+    WalWriter::Options wal;
+  };
+
+  /// Continues an existing log on `disk` (post-restart) or starts a fresh
+  /// one. `disk` must outlive the journal.
+  explicit DurableJournal(Disk* disk);
+  DurableJournal(Disk* disk, Options options);
+
+  void accepted(const core::AcceptedEntry& entry) override;
+  void committed(const core::AcceptedEntry& entry,
+                 std::uint32_t tx_count) override;
+  void revealed(const crypto::Digest& cipher_id) override;
+  void proposal(std::uint64_t index) override;
+  bool snapshot_due() const override;
+  void write_snapshot(const Snapshot& snap) override;
+
+  const DurableJournalStats& stats() const { return stats_; }
+
+ private:
+  void append(WalRecordType type, BytesView payload);
+
+  Disk* disk_;
+  Options options_;
+  WalWriter wal_;
+  std::uint64_t committed_since_snapshot_ = 0;
+  std::uint64_t next_snapshot_index_ = 0;
+  DurableJournalStats stats_;
+};
+
+// --- WAL record payload codecs (shared with recovery) ---
+
+Bytes encode_accepted_record(const core::AcceptedEntry& entry);
+bool decode_accepted_record(BytesView payload, core::AcceptedEntry& out);
+
+Bytes encode_committed_record(const core::AcceptedEntry& entry,
+                              std::uint32_t tx_count);
+bool decode_committed_record(BytesView payload, core::AcceptedEntry& out,
+                             std::uint32_t& tx_count);
+
+}  // namespace lyra::storage

@@ -192,6 +192,62 @@ TEST_F(CommitStateTest, WatermarkMonotoneUnderShrinkingStatuses) {
   EXPECT_GE(state_.stable(), 100);
 }
 
+TEST_F(CommitStateTest, RestartedPeerCannotRollBackWatermarks) {
+  // A peer that crashes and recovers re-announces from a fresh status
+  // epoch: counter skipped by 1<<32 (see LyraNode::restore), locked
+  // possibly below what it reported pre-crash. The higher counter makes
+  // the status non-stale, but locked is folded in with max(), so the
+  // committed watermark must not regress.
+  state_.add_accepted(entry(1, 100));
+  feed_statuses(/*locked=*/200, /*min_pending=*/kMaxSeq);
+  state_.recompute();
+  ASSERT_EQ(state_.committed(), 100);
+
+  const std::uint64_t epoch = (counter_ & 0xFFFFFFFFull) + (1ull << 32);
+  state_.on_status(0, status(epoch, /*locked=*/kNoSeq, kMaxSeq));
+  state_.on_status(1, status(epoch, /*locked=*/10, /*min_pending=*/kMaxSeq));
+  state_.recompute();
+  EXPECT_EQ(state_.locked(), 200);
+  EXPECT_EQ(state_.committed(), 100);
+}
+
+TEST_F(CommitStateTest, PreCrashReplayAfterEpochSkipIsStale) {
+  // Once the restarted peer's epoch-skipped status was applied, a delayed
+  // pre-crash status (old epoch, small counter) must be dropped even
+  // though its locked value is higher — it is from a dead incarnation.
+  state_.add_accepted(entry(1, 100));
+  state_.on_status(0, status(5 + (1ull << 32), /*locked=*/120, kMaxSeq));
+  state_.on_status(0, status(400, /*locked=*/900, /*min_pending=*/50));
+  for (NodeId j = 1; j < 4; ++j) {
+    state_.on_status(j, status(j + 1, 120, kMaxSeq));
+  }
+  state_.recompute();
+  // The replayed min_pending=50 was ignored too: stable follows 120.
+  EXPECT_EQ(state_.stable(), 120);
+  EXPECT_EQ(state_.committed(), 100);
+}
+
+TEST_F(CommitStateTest, AcceptedAfterReturnsStrictSuffix) {
+  state_.add_accepted(entry(1, 100));
+  state_.add_accepted(entry(2, 100));
+  state_.add_accepted(entry(3, 200));
+
+  // kNoSeq cursor: the whole accepted set, in (seq, id) order.
+  auto all = state_.accepted_after(kNoSeq, crypto::kZeroDigest);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].seq, 100);
+  EXPECT_EQ(all[2].seq, 200);
+
+  // Cursor at the first entry: strictly-after excludes it but keeps the
+  // same-seq sibling with the larger digest.
+  auto rest = state_.accepted_after(all[0].seq, all[0].cipher_id);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].cipher_id, all[1].cipher_id);
+
+  // Cursor at the last entry: nothing left.
+  EXPECT_TRUE(state_.accepted_after(all[2].seq, all[2].cipher_id).empty());
+}
+
 TEST_F(CommitStateTest, DrainAcceptedDeltaReturnsOnlyNewEntries) {
   state_.add_accepted(entry(1, 100));
   state_.add_accepted(entry(2, 200));

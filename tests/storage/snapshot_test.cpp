@@ -1,0 +1,122 @@
+#include "storage/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "storage/wal.hpp"
+
+namespace lyra::storage {
+namespace {
+
+crypto::Digest id_of(int i) {
+  Bytes b;
+  append_u64(b, static_cast<std::uint64_t>(i));
+  return crypto::Sha256::hash(b);
+}
+
+core::AcceptedEntry entry(int i, SeqNum seq, NodeId proposer = 0) {
+  core::AcceptedEntry e;
+  e.cipher_id = id_of(i);
+  e.seq = seq;
+  e.inst = {proposer, static_cast<std::uint64_t>(i)};
+  return e;
+}
+
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.node = 3;
+  snap.status_counter = 17;
+  snap.next_proposal_index = 9;
+  snap.committed = 400;
+  snap.cursor_seq = 400;
+  snap.cursor_id = id_of(2);
+  snap.chain_hash = id_of(77);
+  snap.wal_start_segment = 5;
+  snap.accepted = {entry(1, 100), entry(2, 400, 1), entry(3, 900, 2)};
+  LedgerEntryRecord first;
+  first.entry = entry(1, 100);
+  first.tx_count = 12;
+  first.revealed = true;
+  first.share_released = true;
+  LedgerEntryRecord second;
+  second.entry = entry(2, 400, 1);
+  second.tx_count = 3;
+  snap.ledger = {first, second};
+  return snap;
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrips) {
+  const Snapshot snap = sample_snapshot();
+  const Bytes data = encode_snapshot(snap);
+
+  Snapshot out;
+  ASSERT_TRUE(decode_snapshot({data.data(), data.size()}, out));
+  EXPECT_EQ(out.node, snap.node);
+  EXPECT_EQ(out.status_counter, snap.status_counter);
+  EXPECT_EQ(out.next_proposal_index, snap.next_proposal_index);
+  EXPECT_EQ(out.committed, snap.committed);
+  EXPECT_EQ(out.cursor_seq, snap.cursor_seq);
+  EXPECT_EQ(out.cursor_id, snap.cursor_id);
+  EXPECT_EQ(out.chain_hash, snap.chain_hash);
+  EXPECT_EQ(out.wal_start_segment, snap.wal_start_segment);
+  EXPECT_EQ(out.accepted, snap.accepted);
+  EXPECT_EQ(out.ledger, snap.ledger);
+}
+
+TEST(SnapshotTest, EmptySnapshotRoundTrips) {
+  const Bytes data = encode_snapshot(Snapshot{});
+  Snapshot out;
+  ASSERT_TRUE(decode_snapshot({data.data(), data.size()}, out));
+  EXPECT_EQ(out.committed, kNoSeq);
+  EXPECT_EQ(out.cursor_seq, kNoSeq);
+  EXPECT_TRUE(out.accepted.empty());
+  EXPECT_TRUE(out.ledger.empty());
+}
+
+TEST(SnapshotTest, RejectsBitFlipAnywhere) {
+  Bytes data = encode_snapshot(sample_snapshot());
+  // Flip one bit at a sample of offsets covering header, body, and CRC.
+  for (std::size_t offset : {std::size_t{0}, data.size() / 2,
+                             data.size() - 1}) {
+    Bytes tampered = data;
+    tampered[offset] ^= 0x01;
+    Snapshot out;
+    EXPECT_FALSE(decode_snapshot({tampered.data(), tampered.size()}, out))
+        << "bit flip at offset " << offset << " went undetected";
+  }
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  const Bytes data = encode_snapshot(sample_snapshot());
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, data.size() - 1}) {
+    Snapshot out;
+    EXPECT_FALSE(decode_snapshot({data.data(), keep}, out));
+  }
+}
+
+TEST(SnapshotTest, RejectsTrailingGarbage) {
+  Bytes data = encode_snapshot(sample_snapshot());
+  data.push_back(0x00);
+  Snapshot out;
+  EXPECT_FALSE(decode_snapshot({data.data(), data.size()}, out));
+}
+
+TEST(SnapshotNameTest, RoundTrips) {
+  const std::string name = snapshot_name(7);
+  std::uint64_t index = 0;
+  ASSERT_TRUE(parse_snapshot_name(name, index));
+  EXPECT_EQ(index, 7u);
+  EXPECT_FALSE(parse_snapshot_name(wal_segment_name(7), index));
+  EXPECT_FALSE(parse_snapshot_name("snap-7.img", index));
+}
+
+TEST(SnapshotNameTest, SortsNumerically) {
+  // Zero padding makes lexicographic disk order equal numeric order.
+  EXPECT_LT(snapshot_name(9), snapshot_name(10));
+  EXPECT_LT(snapshot_name(99), snapshot_name(100));
+}
+
+}  // namespace
+}  // namespace lyra::storage

@@ -6,6 +6,10 @@
 //   lyra_sim --protocol=lyra --nodes=31 --clients=1600
 //   lyra_sim --protocol=pompe --nodes=100 --clients=300 --duration-ms=8000
 //   lyra_sim --protocol=lyra --nodes=16 --lambda-ms=2 --no-obfuscation
+//   lyra_sim --nodes=4 --crash-node 2 --crash-at 3s --restart-at 5s
+//
+// Flags take either --flag=value or --flag value; durations accept "ms"
+// and "s" suffixes (plain numbers are milliseconds).
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,13 +38,45 @@ void usage() {
       "  --bandwidth-gbps=B        per-node egress (default 1.0)\n"
       "  --seed=S                  run seed (default 42)\n"
       "  --no-obfuscation          disable Lyra's commit-reveal\n"
-      "  --help                    this text\n");
+      "  --crash-node=N            crash node N mid-run (Lyra; repeatable)\n"
+      "  --crash-at=T              crash time for the last --crash-node\n"
+      "  --restart-at=T            restart time (recovers from WAL+snapshot)\n"
+      "  --help                    this text\n"
+      "durations (T) accept '3s', '250ms', or plain milliseconds\n");
 }
 
-bool parse_value(const char* arg, const char* flag, std::string& out) {
+/// Accepts --flag=value and --flag value; the latter consumes argv[i+1].
+bool parse_value(int argc, char** argv, int& i, const char* flag,
+                 std::string& out) {
+  const char* arg = argv[i];
   const std::size_t len = std::strlen(flag);
-  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
-  out = arg + len + 1;
+  if (std::strncmp(arg, flag, len) != 0) return false;
+  if (arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && i + 1 < argc) {
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+/// "3s" -> 3 s, "250ms" -> 250 ms, "1500" -> 1500 ms.
+bool parse_duration(const std::string& text, TimeNs& out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return false;
+  const std::string suffix(end);
+  if (suffix.empty() || suffix == "ms") {
+    out = ms(v);
+  } else if (suffix == "s") {
+    out = ms(v * 1000.0);
+  } else if (suffix == "us") {
+    out = us(v);
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -53,7 +89,7 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (parse_value(argv[i], "--protocol", value)) {
+    if (parse_value(argc, argv, i, "--protocol", value)) {
       if (value == "lyra") {
         config.protocol = RunConfig::Protocol::kLyra;
       } else if (value == "pompe") {
@@ -62,28 +98,56 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown protocol '%s'\n", value.c_str());
         return 2;
       }
-    } else if (parse_value(argv[i], "--nodes", value)) {
+    } else if (parse_value(argc, argv, i, "--nodes", value)) {
       config.n = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (parse_value(argv[i], "--clients", value)) {
+    } else if (parse_value(argc, argv, i, "--clients", value)) {
       config.clients_per_node =
           static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
-    } else if (parse_value(argv[i], "--duration-ms", value)) {
-      config.duration = ms(std::strtod(value.c_str(), nullptr));
-    } else if (parse_value(argv[i], "--measure-from-ms", value)) {
-      config.measure_from = ms(std::strtod(value.c_str(), nullptr));
-    } else if (parse_value(argv[i], "--batch", value)) {
+    } else if (parse_value(argc, argv, i, "--duration-ms", value)) {
+      if (!parse_duration(value, config.duration)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_value(argc, argv, i, "--measure-from-ms", value)) {
+      if (!parse_duration(value, config.measure_from)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_value(argc, argv, i, "--batch", value)) {
       config.batch_size = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (parse_value(argv[i], "--lambda-ms", value)) {
+    } else if (parse_value(argc, argv, i, "--lambda-ms", value)) {
       config.lambda = ms(std::strtod(value.c_str(), nullptr));
-    } else if (parse_value(argv[i], "--outstanding", value)) {
+    } else if (parse_value(argc, argv, i, "--outstanding", value)) {
       config.max_outstanding = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (parse_value(argv[i], "--silent", value)) {
+    } else if (parse_value(argc, argv, i, "--silent", value)) {
       config.byzantine_silent = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (parse_value(argv[i], "--bandwidth-gbps", value)) {
+    } else if (parse_value(argc, argv, i, "--bandwidth-gbps", value)) {
       config.bandwidth_bytes_per_sec =
           std::strtod(value.c_str(), nullptr) * 125e6;
-    } else if (parse_value(argv[i], "--seed", value)) {
+    } else if (parse_value(argc, argv, i, "--seed", value)) {
       config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--crash-node", value)) {
+      RunConfig::CrashRestart cr;
+      cr.node = static_cast<NodeId>(std::strtoul(value.c_str(), nullptr, 10));
+      config.crash_restarts.push_back(cr);
+    } else if (parse_value(argc, argv, i, "--crash-at", value)) {
+      if (config.crash_restarts.empty()) {
+        std::fprintf(stderr, "--crash-at needs a preceding --crash-node\n");
+        return 2;
+      }
+      if (!parse_duration(value, config.crash_restarts.back().crash_at)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_value(argc, argv, i, "--restart-at", value)) {
+      if (config.crash_restarts.empty()) {
+        std::fprintf(stderr, "--restart-at needs a preceding --crash-node\n");
+        return 2;
+      }
+      if (!parse_duration(value, config.crash_restarts.back().restart_at)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--no-obfuscation") == 0) {
       config.obfuscate = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -103,6 +167,23 @@ int main(int argc, char** argv) {
   if (config.measure_from >= config.duration) {
     std::fprintf(stderr, "measurement window is empty\n");
     return 2;
+  }
+  for (const auto& cr : config.crash_restarts) {
+    if (config.protocol != RunConfig::Protocol::kLyra) {
+      std::fprintf(stderr, "--crash-node is Lyra-only\n");
+      return 2;
+    }
+    if (cr.node >= config.n) {
+      std::fprintf(stderr, "--crash-node %u out of range\n", cr.node);
+      return 2;
+    }
+    if (cr.crash_at <= 0 || cr.restart_at <= cr.crash_at ||
+        cr.restart_at >= config.duration) {
+      std::fprintf(stderr,
+                   "need 0 < crash-at < restart-at < duration for node %u\n",
+                   cr.node);
+      return 2;
+    }
   }
 
   std::printf("running %s: n=%zu f=%zu clients/node=%u batch=%zu "
@@ -129,6 +210,17 @@ int main(int argc, char** argv) {
                 result.mean_decide_rounds, result.max_decide_rounds);
     std::printf("late accepts      %10llu\n",
                 static_cast<unsigned long long>(result.late_accepts));
+    if (!config.crash_restarts.empty()) {
+      std::printf("restarts          %10llu\n",
+                  static_cast<unsigned long long>(result.restarts));
+      std::printf("wal replayed      %10llu records\n",
+                  static_cast<unsigned long long>(result.recovered_wal_records));
+      std::printf("snapshots loaded  %10llu\n",
+                  static_cast<unsigned long long>(result.recovered_snapshots));
+      std::printf("recovery cpu      %10.2f ms\n", result.recovery_cpu_ms);
+      std::printf("msgs dropped      %10llu\n",
+                  static_cast<unsigned long long>(result.messages_dropped));
+    }
   } else {
     std::printf("ts verifications  %10llu\n",
                 static_cast<unsigned long long>(result.proof_verifications));
