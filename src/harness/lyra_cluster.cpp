@@ -70,11 +70,17 @@ void LyraCluster::restart_node(NodeId id) {
   LYRA_ASSERT(!recovered.stats.wal_corrupt,
               "WAL corruption on restart (torn tails are fine, CRC "
               "mismatches are not)");
+  LYRA_ASSERT(!recovered.stats.snapshots_all_corrupt,
+              "every snapshot on disk failed to decode; recovering from "
+              "the WAL suffix alone would truncate the committed prefix");
 
   std::unique_ptr<core::LyraNode> node = build_node(id);
   node->restore(recovered);
   journals_[id] = std::make_unique<storage::DurableJournal>(
       disks_[id].get(), options_.journal);
+  // Durable restart marker: lets the *next* recovery count incarnations
+  // since the last snapshot and pick a fresh status-counter epoch.
+  journals_[id]->restarted();
   node->set_journal(journals_[id].get());
 
   NodeRecoveryInfo& info = recovery_info_[id];

@@ -564,6 +564,11 @@ void LyraNode::handle_resync_req(const sim::Envelope& env,
 
 void LyraNode::handle_resync_reply(const sim::Envelope& env,
                                    const ResyncReplyMsg& m) {
+  // Broadcast loops the request back to us and we answer it like any peer;
+  // that self-reply carries nothing we lack and must not count toward the
+  // quorum, or only f *other* nodes — possibly all Byzantine — would gate
+  // extraction.
+  if (env.from == id()) return;
   for (const AcceptedEntry& entry : m.entries) merge_accepted(entry, env.from);
   if (!resync_pending_ || env.from >= config_.n ||
       resync_replied_[env.from]) {
@@ -1098,12 +1103,18 @@ void LyraNode::restore(const storage::RecoveredState& recovered) {
   resync_pending_ = true;
   resync_replied_.assign(config_.n, false);
   resync_replies_ = 0;
-  if (!recovered.found) return;
 
   // New status-counter epoch: peers that saw pre-crash counters must never
-  // treat this incarnation's piggybacks as stale, and the recovered value
-  // is a lower bound anyway (the counter is snapshotted, not WAL'd).
-  status_counter_ = recovered.status_counter + (1ULL << 32);
+  // treat this incarnation's piggybacks as stale. The recovered value is
+  // only a lower bound (the counter is snapshotted, not WAL'd), and a flat
+  // +2^32 would collide across repeated crashes with no intervening
+  // snapshot — so the skip scales with the durable restart count: every
+  // recovered incarnation journals a kRestart marker, and we stride past
+  // each one that ran since the base snapshot, plus ourselves.
+  status_counter_ = recovered.status_counter +
+                    (recovered.restarts + 1) * (1ULL << 32);
+  if (!recovered.found) return;
+
   next_proposal_index_ = recovered.next_proposal_index;
   commit_.restore_accepted(recovered.accepted);
 

@@ -89,6 +89,8 @@ class LyraNode : public sim::Process {
   bool warmed_up() const { return warmed_up_; }
   /// True while a restarted node still gates extraction on peer resync.
   bool resync_pending() const { return resync_pending_; }
+  /// Last status-update counter published (epoch-strided on restart).
+  std::uint64_t status_counter() const { return status_counter_; }
   SeqNum clock_now() const { return clock_.now(); }
   std::size_t live_instances() const { return instances_.size(); }
 

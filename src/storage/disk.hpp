@@ -33,6 +33,11 @@ class Disk {
 
   virtual void remove(const std::string& name) = 0;
 
+  /// Drops every byte past `size`; no-op when the file is already shorter
+  /// or missing. The WAL writer uses this to repair a torn tail left by a
+  /// crashed predecessor before it starts its own segment.
+  virtual void truncate(const std::string& name, std::size_t size) = 0;
+
   /// All file names in lexicographic order.
   virtual std::vector<std::string> list() const = 0;
 };
@@ -48,12 +53,10 @@ class MemDisk final : public Disk {
   void append(const std::string& name, BytesView data) override;
   void write_atomic(const std::string& name, BytesView data) override;
   void remove(const std::string& name) override;
+  void truncate(const std::string& name, std::size_t size) override;
   std::vector<std::string> list() const override;
 
   // --- fault injection (tests) ---
-
-  /// Drops everything past `size` (a torn write at the tail).
-  void truncate(const std::string& name, std::size_t size);
 
   /// XORs one byte (bit rot). No-op when out of range.
   void corrupt(const std::string& name, std::size_t offset,

@@ -7,6 +7,26 @@
 
 namespace lyra::storage {
 
+namespace {
+
+/// Floors the writer's first segment at every decodable snapshot's replay
+/// point: after GC that segment may have no file, and a writer that scanned
+/// only files would re-use indices below it — journaling new records where
+/// snapshot+suffix recovery never looks.
+WalWriter::Options wal_options_on(Disk* disk, WalWriter::Options wal) {
+  for (const std::string& name : disk->list()) {
+    std::uint64_t index = 0;
+    if (!parse_snapshot_name(name, index)) continue;
+    Snapshot snap;
+    if (decode_snapshot(disk->read(name), snap)) {
+      wal.min_segment = std::max(wal.min_segment, snap.wal_start_segment);
+    }
+  }
+  return wal;
+}
+
+}  // namespace
+
 Bytes encode_accepted_record(const core::AcceptedEntry& entry) {
   Bytes out;
   out.reserve(52);
@@ -45,7 +65,9 @@ DurableJournal::DurableJournal(Disk* disk)
     : DurableJournal(disk, Options{}) {}
 
 DurableJournal::DurableJournal(Disk* disk, Options options)
-    : disk_(disk), options_(options), wal_(disk, options.wal) {
+    : disk_(disk),
+      options_(options),
+      wal_(disk, wal_options_on(disk, options.wal)) {
   LYRA_ASSERT(options_.snapshot_every_committed > 0,
               "snapshot cadence must be positive");
   // Continue the snapshot numbering past anything already on disk.
@@ -87,6 +109,8 @@ void DurableJournal::proposal(std::uint64_t index) {
   append(WalRecordType::kProposal, payload);
 }
 
+void DurableJournal::restarted() { append(WalRecordType::kRestart, {}); }
+
 bool DurableJournal::snapshot_due() const {
   return committed_since_snapshot_ >= options_.snapshot_every_committed;
 }
@@ -98,14 +122,40 @@ void DurableJournal::write_snapshot(const Snapshot& snap) {
   stamped.wal_start_segment = wal_.seal();
   disk_->write_atomic(snapshot_name(next_snapshot_index_),
                       encode_snapshot(stamped));
-  // GC: older snapshots and the WAL prefix they covered are superseded.
+  // GC: keep the snapshot just written plus the newest prior one, so
+  // recovery's fallback — previous snapshot + a longer WAL suffix — exists
+  // on disk if the new snapshot's CRC ever fails. Everything older is
+  // superseded; WAL segments are dropped only below what the oldest
+  // retained snapshot still needs.
+  std::uint64_t prev_index = 0;
+  bool have_prev = false;
   for (const std::string& name : disk_->list()) {
     std::uint64_t index = 0;
-    if (parse_snapshot_name(name, index) && index < next_snapshot_index_) {
+    if (parse_snapshot_name(name, index) && index < next_snapshot_index_ &&
+        (!have_prev || index > prev_index)) {
+      prev_index = index;
+      have_prev = true;
+    }
+  }
+  for (const std::string& name : disk_->list()) {
+    std::uint64_t index = 0;
+    if (parse_snapshot_name(name, index) && index < next_snapshot_index_ &&
+        (!have_prev || index != prev_index)) {
       disk_->remove(name);
     }
   }
-  wal_.drop_segments_before(stamped.wal_start_segment);
+  std::uint64_t keep_wal_from = stamped.wal_start_segment;
+  if (have_prev) {
+    Snapshot prev;
+    if (decode_snapshot(disk_->read(snapshot_name(prev_index)), prev)) {
+      keep_wal_from = std::min(keep_wal_from, prev.wal_start_segment);
+    } else {
+      // An undecodable fallback protects nothing; drop it rather than pin
+      // WAL segments for a snapshot recovery could never load.
+      disk_->remove(snapshot_name(prev_index));
+    }
+  }
+  wal_.drop_segments_before(keep_wal_from);
   ++next_snapshot_index_;
   ++stats_.snapshots_written;
   committed_since_snapshot_ = 0;

@@ -13,6 +13,7 @@ enum class WalRecordType : std::uint8_t {
   kCommitted = 2,  ///< entry appended to the committed prefix (ledger)
   kRevealed = 3,   ///< committed entry's payload was reconstructed
   kProposal = 4,   ///< own proposal index consumed (never reuse instance ids)
+  kRestart = 5,    ///< a recovered incarnation began (status-epoch marker)
 };
 
 /// The node-facing durability interface. LyraNode calls these hooks at the
@@ -32,6 +33,8 @@ class Journal {
   }
   virtual void revealed(const crypto::Digest& cipher_id) { (void)cipher_id; }
   virtual void proposal(std::uint64_t index) { (void)index; }
+  /// Called once per recovered incarnation, before the node rejoins.
+  virtual void restarted() {}
 
   /// True when enough has been journaled since the last snapshot that the
   /// node should hand over a fresh one.
@@ -50,8 +53,10 @@ struct DurableJournalStats {
 /// simulated instant the state change happens, the discrete-event
 /// equivalent of fsync-before-ack). Snapshots are cut every
 /// `snapshot_every_committed` ledger appends; each snapshot seals the
-/// current WAL segment, records the suffix start, and garbage-collects
-/// segments and snapshots it supersedes.
+/// current WAL segment and records the suffix start. GC keeps the two
+/// newest snapshots (the older one backs recovery's fallback path should
+/// the newer fail its CRC) and drops WAL segments below what the oldest
+/// retained snapshot needs.
 class DurableJournal final : public Journal {
  public:
   struct Options {
@@ -71,6 +76,11 @@ class DurableJournal final : public Journal {
   void proposal(std::uint64_t index) override;
   bool snapshot_due() const override;
   void write_snapshot(const Snapshot& snap) override;
+
+  /// Journals a restart marker so the next recovery can count restarts
+  /// since the last snapshot and hand out a status-counter epoch no
+  /// earlier incarnation ever published (see LyraNode::restore).
+  void restarted() override;
 
   const DurableJournalStats& stats() const { return stats_; }
 

@@ -30,6 +30,8 @@ RecoveredState recover(const Disk& disk) {
     base = Snapshot{};
     ++state.stats.snapshots_discarded;
   }
+  state.stats.snapshots_all_corrupt =
+      !snaps.empty() && !state.stats.snapshot_loaded;
 
   state.status_counter = base.status_counter;
   state.next_proposal_index = base.next_proposal_index;
@@ -80,6 +82,9 @@ RecoveredState recover(const Disk& disk) {
             }
             break;
           }
+          case WalRecordType::kRestart:
+            ++state.restarts;
+            break;
           case WalRecordType::kProposal: {
             ByteReader r(payload);
             const std::uint64_t index = r.u64();

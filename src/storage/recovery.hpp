@@ -17,6 +17,10 @@ struct RecoveryStats {
   std::uint64_t wal_segments = 0;
   std::uint64_t torn_tail_bytes = 0;      ///< tolerated torn tail, if any
   bool wal_corrupt = false;               ///< mid-log CRC failure (escalate)
+  /// Snapshots exist on disk but none decodes. The WAL prefix they covered
+  /// is GC'd, so proceeding from an empty base would silently truncate the
+  /// committed prefix — escalate instead of trusting `found`.
+  bool snapshots_all_corrupt = false;
 };
 
 /// A node's durable state as reconstructed from disk: the newest decodable
@@ -32,6 +36,10 @@ struct RecoveryStats {
 struct RecoveredState {
   bool found = false;  ///< anything at all was on the disk
   std::uint64_t status_counter = 0;
+  /// Restart markers (kRestart) in the replayed WAL suffix: incarnations
+  /// that recovered since the base snapshot. Restarts before the snapshot
+  /// are already baked into its status_counter.
+  std::uint64_t restarts = 0;
   std::uint64_t next_proposal_index = 0;
   std::vector<core::AcceptedEntry> accepted;
   std::vector<LedgerEntryRecord> ledger;

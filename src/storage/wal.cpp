@@ -36,6 +36,48 @@ std::vector<std::pair<std::uint64_t, std::string>> segments_on(
   return out;
 }
 
+/// How the bytes of one segment file end after its intact frames.
+enum class TailState {
+  kWhole,    ///< every byte belongs to a CRC-valid frame
+  kTorn,     ///< an incomplete frame (crash mid-append)
+  kCorrupt,  ///< a complete frame whose CRC mismatches (bit rot)
+};
+
+/// Walks the intact frames of one segment into `fn` (when non-null) and
+/// reports where they end plus how the remainder classifies. This is the
+/// single frame-parsing loop shared by replay and tail repair, so the two
+/// can never disagree on what counts as torn versus corrupt.
+TailState scan_segment(const Bytes& file,
+                       const std::function<void(std::uint8_t, BytesView)>* fn,
+                       std::size_t& intact_end) {
+  std::size_t at = 0;
+  while (at < file.size()) {
+    const std::size_t remaining = file.size() - at;
+    bool torn = remaining < kHeaderBytes + kTrailerBytes;
+    std::size_t length = 0;
+    if (!torn) {
+      length = read_u32(file, at);
+      torn = length > kMaxPayload ||
+             remaining < kHeaderBytes + length + kTrailerBytes;
+    }
+    if (torn) {
+      intact_end = at;
+      return TailState::kTorn;
+    }
+    const std::uint32_t stored_crc = read_u32(file, at + kHeaderBytes + length);
+    const std::uint32_t actual_crc =
+        crc32({file.data() + at, kHeaderBytes + length});
+    if (stored_crc != actual_crc) {
+      intact_end = at;
+      return TailState::kCorrupt;
+    }
+    if (fn != nullptr) (*fn)(file[at + 4], {file.data() + at + kHeaderBytes, length});
+    at += kHeaderBytes + length + kTrailerBytes;
+  }
+  intact_end = at;
+  return TailState::kWhole;
+}
+
 }  // namespace
 
 std::string wal_segment_name(std::uint64_t index) {
@@ -65,10 +107,14 @@ WalWriter::WalWriter(Disk* disk, Options options)
     : disk_(disk), options_(options) {
   LYRA_ASSERT(disk_ != nullptr, "WAL writer needs a disk");
   LYRA_ASSERT(options_.segment_bytes > 0, "zero segment size");
-  // Never append to a pre-existing segment: its tail may be torn, and
-  // sealed segments are immutable by contract.
+  // Never append to a pre-existing segment: sealed segments are immutable
+  // by contract. Repair the predecessor's torn tail first — once this
+  // writer creates a newer segment, those torn bytes would sit mid-log and
+  // read as corruption on the next replay.
+  repaired_bytes_ = wal_repair_tail(*disk_);
   const auto existing = segments_on(*disk_);
   segment_ = existing.empty() ? 0 : existing.back().first + 1;
+  segment_ = std::max(segment_, options_.min_segment);
 }
 
 void WalWriter::append(std::uint8_t type, BytesView payload) {
@@ -103,6 +149,21 @@ void WalWriter::drop_segments_before(std::uint64_t before) {
   }
 }
 
+std::uint64_t wal_repair_tail(Disk& disk) {
+  const auto segments = segments_on(disk);
+  if (segments.empty()) return 0;
+  const std::string& name = segments.back().second;
+  const Bytes file = disk.read(name);
+  std::size_t intact_end = 0;
+  // Only a torn (incomplete) frame is repairable: it was never fully
+  // written, so nothing durable is lost. A CRC mismatch is left in place
+  // for replay to escalate — truncating it would silently erase an
+  // acknowledged record.
+  if (scan_segment(file, nullptr, intact_end) != TailState::kTorn) return 0;
+  disk.truncate(name, intact_end);
+  return file.size() - intact_end;
+}
+
 WalReplayStats wal_replay(
     const Disk& disk, std::uint64_t from_segment,
     const std::function<void(std::uint8_t type, BytesView payload)>& fn) {
@@ -115,36 +176,27 @@ WalReplayStats wal_replay(
     const Bytes file = disk.read(name);
     ++stats.segments;
 
-    std::size_t at = 0;
-    while (at < file.size()) {
-      const std::size_t remaining = file.size() - at;
-      bool torn = remaining < kHeaderBytes + kTrailerBytes;
-      std::size_t length = 0;
-      if (!torn) {
-        length = read_u32(file, at);
-        torn = length > kMaxPayload ||
-               remaining < kHeaderBytes + length + kTrailerBytes;
+    std::size_t intact_end = 0;
+    const std::function<void(std::uint8_t, BytesView)> counted =
+        [&](std::uint8_t type, BytesView payload) {
+          fn(type, payload);
+          ++stats.records;
+        };
+    const TailState tail = scan_segment(file, &counted, intact_end);
+    stats.bytes += intact_end;
+    if (tail == TailState::kTorn) {
+      if (last_segment) {
+        // Tolerated: crash mid-append. Writers repair this on their next
+        // incarnation; until then it can only sit in the newest segment.
+        stats.torn_tail_bytes = file.size() - intact_end;
+      } else {
+        stats.corrupt = true;  // sealed segments must be whole
       }
-      if (torn) {
-        if (last_segment) {
-          stats.torn_tail_bytes = remaining;  // tolerated: crash mid-append
-        } else {
-          stats.corrupt = true;  // sealed segments must be whole
-        }
-        return stats;
-      }
-      const std::uint32_t stored_crc =
-          read_u32(file, at + kHeaderBytes + length);
-      const std::uint32_t actual_crc =
-          crc32({file.data() + at, kHeaderBytes + length});
-      if (stored_crc != actual_crc) {
-        stats.corrupt = true;
-        return stats;
-      }
-      fn(file[at + 4], {file.data() + at + kHeaderBytes, length});
-      ++stats.records;
-      at += kHeaderBytes + length + kTrailerBytes;
-      stats.bytes += kHeaderBytes + length + kTrailerBytes;
+      return stats;
+    }
+    if (tail == TailState::kCorrupt) {
+      stats.corrupt = true;
+      return stats;
     }
   }
   return stats;

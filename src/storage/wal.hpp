@@ -18,8 +18,13 @@ namespace lyra::storage {
 ///
 /// with the CRC computed over (length, type, payload), all integers
 /// little-endian. A writer never re-opens a pre-existing segment: after a
-/// restart it seals whatever it finds and starts the next segment, so a
-/// torn tail can only ever sit at the end of the newest segment.
+/// restart it truncates any torn tail off the newest segment it finds
+/// (`wal_repair_tail` — those bytes were never fully written, so nothing
+/// durable is lost) and starts the next segment. That repair is what keeps
+/// the invariant "a torn tail only ever sits at the end of the newest
+/// segment" true across *repeated* crashes: without it, a second
+/// incarnation's segments would leave the first one's torn tail mid-log,
+/// where replay must treat it as corruption.
 ///
 /// Replay semantics (tail-truncation tolerance):
 ///   * a frame that runs past the end of the *last* segment is a torn
@@ -39,10 +44,16 @@ class WalWriter {
   struct Options {
     /// Roll to a new segment once the current one reaches this size.
     std::size_t segment_bytes = 256 * 1024;
+    /// Never start below this segment index. A snapshot's replay point may
+    /// reference a segment with no file yet (everything older was GC'd and
+    /// nothing was appended since); a writer that re-used an index below
+    /// it would hide its records from snapshot+suffix recovery.
+    std::uint64_t min_segment = 0;
   };
 
-  /// Scans `disk` and starts writing at (highest existing segment + 1);
-  /// existing segments are left sealed for replay.
+  /// Repairs the torn tail of the newest existing segment (if any), then
+  /// starts writing at (highest existing segment + 1); existing segments
+  /// are left sealed for replay.
   explicit WalWriter(Disk* disk);
   WalWriter(Disk* disk, Options options);
 
@@ -60,6 +71,8 @@ class WalWriter {
   std::uint64_t current_segment() const { return segment_; }
   std::uint64_t records_appended() const { return records_; }
   std::uint64_t bytes_appended() const { return bytes_; }
+  /// Torn bytes truncated off the predecessor's tail at construction.
+  std::uint64_t repaired_bytes() const { return repaired_bytes_; }
 
  private:
   Disk* disk_;
@@ -68,6 +81,7 @@ class WalWriter {
   std::size_t segment_fill_ = 0;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t repaired_bytes_ = 0;
 };
 
 struct WalReplayStats {
@@ -83,5 +97,11 @@ struct WalReplayStats {
 WalReplayStats wal_replay(
     const Disk& disk, std::uint64_t from_segment,
     const std::function<void(std::uint8_t type, BytesView payload)>& fn);
+
+/// Truncates the torn (incomplete) trailing frame off the newest segment,
+/// returning the bytes removed; 0 when the tail is whole or the defect is a
+/// CRC mismatch (left in place so replay escalates it as corruption).
+/// WalWriter runs this at construction; exposed for tests and tooling.
+std::uint64_t wal_repair_tail(Disk& disk);
 
 }  // namespace lyra::storage

@@ -172,6 +172,72 @@ TEST(CrashRestart, ResyncFillsEntriesAcceptedDuringDowntime) {
   EXPECT_EQ(cluster.total_late_accepts(), 0u);
 }
 
+TEST(CrashRestart, ResyncQuorumExcludesOwnReply) {
+  // Broadcast loops the ResyncReq back to the restarted node, which
+  // answers it like any peer. That self-reply must not count toward the
+  // f+1 gate: with it, f other responders — possibly all Byzantine —
+  // would open extraction over a hole in the accepted set.
+  harness::LyraCluster cluster(crash_options(13));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 4);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 4;
+  }));
+
+  // Leave exactly one live peer (= f), then restart node 2.
+  cluster.crash_node(0);
+  cluster.crash_node(1);
+  cluster.crash_node(2);
+  cluster.run_for(ms(10));
+  cluster.restart_node(2);
+  EXPECT_TRUE(cluster.node(2).resync_pending());
+
+  // One peer's reply plus the self-reply is not a quorum: the gate holds.
+  cluster.run_for(ms(100));
+  EXPECT_TRUE(cluster.node(2).resync_pending());
+
+  // A second responder returns; the periodic re-ask reaches f+1 distinct
+  // non-self replies and the gate lifts.
+  cluster.restart_node(0);
+  ASSERT_TRUE(run_until(cluster, cluster.simulation().now() + ms(300), [&] {
+    return !cluster.node(2).resync_pending();
+  }));
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+TEST(CrashRestart, RepeatedRestartsGetFreshStatusEpochs) {
+  // Two crashes with no snapshot in between: the kRestart WAL marker must
+  // push the second incarnation's status epoch past everything the first
+  // one published — a flat +2^32 skip would hand both the same base and
+  // peers would drop the second incarnation's piggybacks as stale.
+  harness::LyraCluster cluster(crash_options(17));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 4);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 4;
+  }));
+
+  cluster.crash_node(2);
+  cluster.run_for(ms(10));
+  cluster.restart_node(2);
+  const std::uint64_t first_epoch = cluster.node(2).status_counter();
+  cluster.run_for(ms(20));  // first incarnation publishes a few statuses
+  const std::uint64_t first_published = cluster.node(2).status_counter();
+
+  cluster.crash_node(2);
+  cluster.run_for(ms(10));
+  cluster.restart_node(2);  // no commits since restart #1 => no new snapshot
+  EXPECT_GT(cluster.node(2).status_counter(), first_published);
+  EXPECT_GE(cluster.node(2).status_counter(), first_epoch + (1ULL << 32));
+
+  cluster.run_for(ms(150));
+  EXPECT_FALSE(cluster.node(2).resync_pending());
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+}
+
 TEST(CrashRestart, ScheduledCrashRestartUnderClientLoad) {
   // The experiment-runner path: a crash/restart pair on the simulation
   // clock while closed-loop clients keep the cluster busy.

@@ -165,31 +165,33 @@ TEST(RecoveryTest, FallsBackThroughCorruptNewestSnapshot) {
   expect_history(state, 4);
 }
 
-TEST(RecoveryTest, SnapshotGcDropsCoveredWalAndOldSnapshots) {
+TEST(RecoveryTest, SnapshotGcKeepsNewestTwoSnapshots) {
   MemDisk disk;
   DurableJournal::Options opts;
   opts.snapshot_every_committed = 2;
   DurableJournal journal(&disk, opts);
   write_history(journal, 8, /*cut_snapshots=*/true);  // several cycles
-  EXPECT_GE(journal.stats().snapshots_written, 2u);
+  EXPECT_GE(journal.stats().snapshots_written, 3u);
 
-  // Exactly one snapshot file survives, and no WAL segment precedes the
-  // replay point it records.
+  // The newest snapshot plus its fallback survive — both decodable — and
+  // no WAL segment precedes what the older of the two still needs.
   std::size_t snapshot_files = 0;
-  Snapshot kept;
+  std::uint64_t oldest_wal_needed = UINT64_MAX;
   for (const std::string& name : disk.list()) {
     std::uint64_t index = 0;
     if (parse_snapshot_name(name, index)) {
       ++snapshot_files;
+      Snapshot snap;
       const Bytes data = disk.read(name);
-      ASSERT_TRUE(decode_snapshot({data.data(), data.size()}, kept));
+      ASSERT_TRUE(decode_snapshot({data.data(), data.size()}, snap));
+      oldest_wal_needed = std::min(oldest_wal_needed, snap.wal_start_segment);
     }
   }
-  EXPECT_EQ(snapshot_files, 1u);
+  EXPECT_EQ(snapshot_files, 2u);
   for (const std::string& name : disk.list()) {
     std::uint64_t index = 0;
     if (parse_wal_segment_name(name, index)) {
-      EXPECT_GE(index, kept.wal_start_segment);
+      EXPECT_GE(index, oldest_wal_needed);
     }
   }
 
@@ -197,6 +199,56 @@ TEST(RecoveryTest, SnapshotGcDropsCoveredWalAndOldSnapshots) {
   const RecoveredState state = recover(disk);
   ASSERT_TRUE(state.found);
   expect_history(state, 8);
+}
+
+TEST(RecoveryTest, FallbackSnapshotSurvivesGc) {
+  // The reason GC retains the previous snapshot: corrupt the newest one
+  // *after* several GC cycles and recovery must still reconstruct the full
+  // history from the fallback plus the longer (retained) WAL suffix.
+  MemDisk disk;
+  {
+    DurableJournal::Options opts;
+    opts.snapshot_every_committed = 2;
+    DurableJournal journal(&disk, opts);
+    write_history(journal, 8, /*cut_snapshots=*/true);
+  }
+  std::uint64_t newest = 0;
+  for (const std::string& name : disk.list()) {
+    std::uint64_t index = 0;
+    if (parse_snapshot_name(name, index)) newest = std::max(newest, index);
+  }
+  disk.corrupt(snapshot_name(newest), disk.read(snapshot_name(newest)).size() / 2);
+
+  const RecoveredState state = recover(disk);
+  ASSERT_TRUE(state.found);
+  EXPECT_TRUE(state.stats.snapshot_loaded);
+  EXPECT_EQ(state.stats.snapshots_discarded, 1u);
+  EXPECT_FALSE(state.stats.snapshots_all_corrupt);
+  expect_history(state, 8);
+}
+
+TEST(RecoveryTest, AllSnapshotsCorruptIsEscalated) {
+  // When every snapshot on disk fails its CRC, the WAL prefix they covered
+  // is gone — recovery must flag it rather than silently hand back a
+  // truncated committed prefix.
+  MemDisk disk;
+  {
+    DurableJournal::Options opts;
+    opts.snapshot_every_committed = 2;
+    DurableJournal journal(&disk, opts);
+    write_history(journal, 8, /*cut_snapshots=*/true);
+  }
+  for (const std::string& name : disk.list()) {
+    std::uint64_t index = 0;
+    if (parse_snapshot_name(name, index)) {
+      disk.corrupt(name, disk.read(name).size() / 2);
+    }
+  }
+
+  const RecoveredState state = recover(disk);
+  EXPECT_FALSE(state.stats.snapshot_loaded);
+  EXPECT_EQ(state.stats.snapshots_discarded, 2u);
+  EXPECT_TRUE(state.stats.snapshots_all_corrupt);
 }
 
 TEST(RecoveryTest, TornTailDropsOnlyLastRecord) {
@@ -273,6 +325,66 @@ TEST(RecoveryTest, ProposalIndexNeverRegresses) {
   }
   const RecoveredState state = recover(disk);
   EXPECT_EQ(state.next_proposal_index, 10u);
+}
+
+TEST(RecoveryTest, PostRestartRecordsStayAboveSnapshotReplayPoint) {
+  // After GC the snapshot's wal_start_segment can reference a segment with
+  // no file on disk (nothing was appended since the snapshot sealed). A
+  // fresh journal must not number its segments below that replay point —
+  // it would journal new records where snapshot+suffix recovery never
+  // looks, silently losing the second incarnation's progress.
+  MemDisk disk;
+  {
+    DurableJournal::Options opts;
+    opts.snapshot_every_committed = 2;
+    DurableJournal journal(&disk, opts);
+    write_history(journal, 2, /*cut_snapshots=*/true);  // WAL fully GC'd
+  }
+  {
+    DurableJournal second(&disk);
+    second.restarted();
+    second.accepted(entry(7, 700));
+  }
+  const RecoveredState state = recover(disk);
+  ASSERT_TRUE(state.found);
+  EXPECT_EQ(state.restarts, 1u);
+  EXPECT_EQ(state.accepted.size(), 3u);  // two from the snapshot + one new
+  EXPECT_GT(state.stats.replayed_records, 0u);
+}
+
+TEST(RecoveryTest, CountsRestartMarkersSinceSnapshot) {
+  // Each recovered incarnation journals a kRestart marker; recovery counts
+  // the ones in the replayed suffix so LyraNode::restore can stride the
+  // status-counter epoch past every incarnation, not just the last.
+  MemDisk disk;
+  {
+    DurableJournal first(&disk);  // initial life: no marker
+    write_history(first, 2);
+  }
+  EXPECT_EQ(recover(disk).restarts, 0u);
+  {
+    DurableJournal second(&disk);  // restart #1, crashes without progress
+    second.restarted();
+  }
+  EXPECT_EQ(recover(disk).restarts, 1u);
+  {
+    DurableJournal third(&disk);  // restart #2
+    third.restarted();
+  }
+  const RecoveredState state = recover(disk);
+  EXPECT_EQ(state.restarts, 2u);
+  expect_history(state, 2);  // markers fold into no logical state
+
+  // A snapshot bakes prior restarts into its status counter; markers
+  // before it drop out of the replayed suffix.
+  {
+    DurableJournal fourth(&disk);
+    fourth.restarted();
+    Snapshot snap = snapshot_upto(1);
+    snap.status_counter = 99;
+    fourth.write_snapshot(snap);
+  }
+  EXPECT_EQ(recover(disk).restarts, 0u);
 }
 
 TEST(RecoveryTest, JournalAcrossRestartContinuesHistory) {

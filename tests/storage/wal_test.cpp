@@ -141,6 +141,68 @@ TEST(WalTest, TornHeaderInLastSegmentIsTolerated) {
   EXPECT_FALSE(stats.corrupt);
 }
 
+TEST(WalTest, RepairsTornTailAcrossTwoRestarts) {
+  // Crash #1 tears segment 0's tail; the second writer must repair it at
+  // construction before opening segment 1, because crash #2 then tears
+  // segment 1's tail and leaves segment 0 mid-log — where unrepaired torn
+  // bytes would read as corruption and discard the second life entirely.
+  MemDisk disk;
+  {
+    WalWriter writer(&disk);
+    writer.append(1, bytes_of("live-1-whole"));
+    writer.append(1, bytes_of("live-1-torn"));
+  }
+  const std::string seg0 = wal_segment_name(0);
+  disk.truncate(seg0, disk.read(seg0).size() - 3);
+  {
+    WalWriter writer(&disk);
+    EXPECT_EQ(writer.current_segment(), 1u);
+    EXPECT_GT(writer.repaired_bytes(), 0u);
+    writer.append(1, bytes_of("live-2-whole"));
+    writer.append(1, bytes_of("live-2-torn"));
+  }
+  const std::string seg1 = wal_segment_name(1);
+  disk.truncate(seg1, disk.read(seg1).size() - 3);
+
+  WalReplayStats stats;
+  const auto records = replay_all(disk, &stats);
+  EXPECT_FALSE(stats.corrupt);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, bytes_of("live-1-whole"));
+  EXPECT_EQ(records[1].payload, bytes_of("live-2-whole"));
+  EXPECT_GT(stats.torn_tail_bytes, 0u);  // seg1's tear is still the newest
+}
+
+TEST(WalTest, RepairLeavesCrcCorruptionForEscalation) {
+  // Tail repair only truncates incomplete frames; a complete frame with a
+  // bad CRC is acknowledged history gone wrong and must survive untouched
+  // so replay can escalate it.
+  MemDisk disk;
+  {
+    WalWriter writer(&disk);
+    writer.append(1, bytes_of("first"));
+    writer.append(1, bytes_of("second"));
+  }
+  disk.corrupt(wal_segment_name(0), 6);
+  EXPECT_EQ(wal_repair_tail(disk), 0u);
+  WalWriter second(&disk);
+  EXPECT_EQ(second.repaired_bytes(), 0u);
+
+  WalReplayStats stats;
+  replay_all(disk, &stats);
+  EXPECT_TRUE(stats.corrupt);
+}
+
+TEST(WalTest, RepairOnWholeOrEmptyLogIsNoOp) {
+  MemDisk disk;
+  EXPECT_EQ(wal_repair_tail(disk), 0u);  // no segments at all
+  WalWriter writer(&disk);
+  writer.append(1, bytes_of("whole"));
+  const std::size_t before = disk.read(wal_segment_name(0)).size();
+  EXPECT_EQ(wal_repair_tail(disk), 0u);
+  EXPECT_EQ(disk.read(wal_segment_name(0)).size(), before);
+}
+
 TEST(WalTest, DetectsCrcCorruption) {
   MemDisk disk;
   WalWriter writer(&disk);
