@@ -57,10 +57,12 @@ RunResult run_lyra(const RunConfig& config) {
   opts.config.batch_size = config.batch_size;
   opts.config.obfuscate = config.obfuscate;
   opts.config.max_outstanding_proposals = config.max_outstanding;
-  opts.config.retain_payloads = false;  // keep host memory flat
+  // Flat host memory by default; serving reveal catch-up needs the bytes.
+  opts.config.retain_payloads = config.wants_state_sync();
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
   opts.durable_storage = !config.crash_restarts.empty();
+  opts.state_sync = config.wants_state_sync();
   if (config.byzantine_silent > 0) {
     const std::size_t silent = config.byzantine_silent;
     opts.node_factory = [silent](sim::Simulation* sim, net::Network* net,
@@ -84,6 +86,16 @@ RunResult run_lyra(const RunConfig& config) {
   }
   for (const RunConfig::CrashRestart& cr : config.crash_restarts) {
     cluster.schedule_crash_restart(cr.node, cr.crash_at, cr.restart_at);
+    const NodeId id = cr.node;
+    if (cr.wipe_disk_at > 0) {
+      cluster.simulation().schedule_at(
+          cr.wipe_disk_at, [&cluster, id] { cluster.wipe_disk(id); });
+    }
+    if (cr.corrupt_wal) {
+      const TimeNs at = cr.crash_at + (cr.restart_at - cr.crash_at) / 2;
+      cluster.simulation().schedule_at(
+          at, [&cluster, id] { cluster.corrupt_wal(id); });
+    }
   }
   cluster.start();
   cluster.run_for(config.duration);
@@ -99,6 +111,21 @@ RunResult run_lyra(const RunConfig& config) {
     r.recovered_wal_records += info.stats.replayed_records;
     if (info.stats.snapshot_loaded) ++r.recovered_snapshots;
     r.recovery_cpu_ms += to_ms(info.recovery_cpu);
+    if (info.stats.torn_tail_bytes > 0) ++r.torn_tail_repairs;
+    if (info.outcome == RestartOutcome::kStateSync) ++r.full_state_syncs;
+    if (!info.error.empty()) ++r.refused_restarts;
+  }
+  const statesync::StateSyncStats sync = cluster.statesync_totals();
+  r.sync_chunks_fetched = sync.chunks_fetched;
+  r.sync_chunks_rejected = sync.chunks_rejected;
+  r.sync_bytes_transferred = sync.bytes_transferred;
+  r.sync_entries_installed = sync.entries_installed;
+  r.catchup_reveals = sync.catchup_reveals;
+  for (NodeId i = 0; i < config.n; ++i) {
+    if (!cluster.node_alive(i)) continue;
+    for (const core::CommittedBatch& cb : cluster.node(i).ledger()) {
+      if (cb.revealed_at == 0) ++r.unrevealed_batches;
+    }
   }
 
   Samples rounds;

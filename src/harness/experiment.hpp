@@ -36,14 +36,33 @@ struct RunConfig {
   /// Crash-restart schedule (Lyra only). Each entry tears the node down at
   /// `crash_at` and rebuilds it from its WAL + snapshots at `restart_at`
   /// (absolute run times). Non-empty schedules enable durable storage.
+  /// The optional fault injectors make local recovery impossible, so the
+  /// node comes back via peer state transfer (both force state_sync on):
+  /// `wipe_disk_at` deletes every file on the node's disk at that time
+  /// (crash_at < wipe_disk_at < restart_at); `corrupt_wal` flips a byte in
+  /// each WAL segment midway between crash and restart.
   struct CrashRestart {
     NodeId node = 0;
     TimeNs crash_at = 0;
     TimeNs restart_at = 0;
+    TimeNs wipe_disk_at = 0;  ///< 0 = no wipe
+    bool corrupt_wal = false;
   };
   std::vector<CrashRestart> crash_restarts;
 
+  /// Enable the statesync subsystem on every node (src/statesync):
+  /// restarted nodes catch up on reveal holes from peers, and nodes with
+  /// unrecoverable disks rejoin via full state transfer.
+  bool state_sync = false;
+
   std::size_t f() const { return (n - 1) / 3; }
+  bool wants_state_sync() const {
+    if (state_sync) return true;
+    for (const CrashRestart& cr : crash_restarts) {
+      if (cr.wipe_disk_at > 0 || cr.corrupt_wal) return true;
+    }
+    return false;
+  }
 };
 
 struct RunResult {
@@ -65,6 +84,17 @@ struct RunResult {
   std::uint64_t recovered_snapshots = 0;    // restarts that found a snapshot
   double recovery_cpu_ms = 0.0;             // simulated CPU rebuilding state
   std::uint64_t messages_dropped = 0;       // sent to crashed nodes
+  std::uint64_t torn_tail_repairs = 0;      // restarts that truncated a tail
+  std::uint64_t refused_restarts = 0;       // unrecoverable, no state sync
+  std::uint64_t full_state_syncs = 0;       // rebuilt entirely from peers
+
+  // State-sync counters, summed over all nodes (state_sync runs only):
+  std::uint64_t sync_chunks_fetched = 0;
+  std::uint64_t sync_chunks_rejected = 0;
+  std::uint64_t sync_bytes_transferred = 0;
+  std::uint64_t sync_entries_installed = 0;
+  std::uint64_t catchup_reveals = 0;
+  std::uint64_t unrevealed_batches = 0;  // reveal holes left at run end
 };
 
 /// Executes one run and aggregates client-side measurements.

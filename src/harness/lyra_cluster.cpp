@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "storage/wal.hpp"
 #include "support/assert.hpp"
 
 namespace lyra::harness {
+
+const char* to_string(RestartOutcome outcome) {
+  switch (outcome) {
+    case RestartOutcome::kNone: return "none";
+    case RestartOutcome::kLocalRecovery: return "local-recovery";
+    case RestartOutcome::kStateSync: return "state-sync";
+    case RestartOutcome::kRefusedWalCorrupt: return "refused-wal-corrupt";
+    case RestartOutcome::kRefusedSnapshotsCorrupt:
+      return "refused-snapshots-corrupt";
+    case RestartOutcome::kRefusedEmptyDisk: return "refused-empty-disk";
+  }
+  return "?";
+}
 
 namespace {
 crypto::KeyRegistry make_registry(std::size_t n, std::size_t quorum,
@@ -23,6 +37,9 @@ LyraCluster::LyraCluster(LyraClusterOptions options)
       next_id_(static_cast<NodeId>(options_.config.n)) {
   LYRA_ASSERT(options_.topology.size() >= options_.config.n,
               "topology smaller than the cluster");
+  LYRA_ASSERT(!options_.state_sync || options_.durable_storage,
+              "state_sync without durable_storage: nothing would trigger "
+              "a transfer and synced state would not survive");
   network_ = std::make_unique<net::Network>(
       &sim_, options_.topology.make_latency_model(), options_.config.n);
 
@@ -36,6 +53,9 @@ LyraCluster::LyraCluster(LyraClusterOptions options)
       journals_[i] = std::make_unique<storage::DurableJournal>(
           disks_[i].get(), options_.journal);
       node->set_journal(journals_[i].get());
+    }
+    if (options_.state_sync) {
+      node->enable_state_sync(options_.statesync_config);
     }
     network_->attach(node.get());
     nodes_.push_back(std::move(node));
@@ -63,16 +83,51 @@ void LyraCluster::crash_node(NodeId id) {
   journals_[id].reset();
 }
 
-void LyraCluster::restart_node(NodeId id) {
+bool LyraCluster::restart_node(NodeId id) {
   LYRA_ASSERT(id < nodes_.size() && nodes_[id] == nullptr,
               "restart of a live node");
-  const storage::RecoveredState recovered = storage::recover(*disks_[id]);
-  LYRA_ASSERT(!recovered.stats.wal_corrupt,
-              "WAL corruption on restart (torn tails are fine, CRC "
-              "mismatches are not)");
-  LYRA_ASSERT(!recovered.stats.snapshots_all_corrupt,
-              "every snapshot on disk failed to decode; recovering from "
-              "the WAL suffix alone would truncate the committed prefix");
+  storage::RecoveredState recovered = storage::recover(*disks_[id]);
+
+  NodeRecoveryInfo& info = recovery_info_[id];
+  info.happened = true;
+  info.restarted_at = sim_.now();
+  info.stats = recovered.stats;
+  info.error.clear();
+
+  // Triage the disk. Torn tails are repaired by recovery itself; anything
+  // here means the local state cannot be trusted (or does not exist), so
+  // the node either rebuilds from peers or stays down.
+  RestartOutcome refusal = RestartOutcome::kNone;
+  const char* why = nullptr;
+  if (recovered.stats.wal_corrupt) {
+    refusal = RestartOutcome::kRefusedWalCorrupt;
+    why = "WAL corruption (torn tails are fine, CRC mismatches are not)";
+  } else if (recovered.stats.snapshots_all_corrupt) {
+    refusal = RestartOutcome::kRefusedSnapshotsCorrupt;
+    why = "every snapshot on disk failed to decode; the WAL suffix alone "
+          "would truncate the committed prefix";
+  } else if (!recovered.found && disks_[id]->bytes_written() > 0) {
+    // An empty disk that was never written is a legitimate cold start
+    // (the node crashed before journaling anything); an empty disk whose
+    // cumulative write counter is nonzero lost data it once held.
+    refusal = RestartOutcome::kRefusedEmptyDisk;
+    why = "disk lost previously written state";
+  }
+
+  bool full_sync = false;
+  if (refusal != RestartOutcome::kNone) {
+    if (!options_.state_sync) {
+      info.outcome = refusal;
+      info.error = why;
+      return false;
+    }
+    // Local recovery is impossible but peers hold the state: discard the
+    // disk (a half-trusted WAL must not shadow the transferred prefix)
+    // and rejoin from scratch via full state transfer.
+    disks_[id]->wipe();
+    recovered = storage::RecoveredState{};
+    full_sync = true;
+  }
 
   std::unique_ptr<core::LyraNode> node = build_node(id);
   node->restore(recovered);
@@ -82,17 +137,62 @@ void LyraCluster::restart_node(NodeId id) {
   // since the last snapshot and pick a fresh status-counter epoch.
   journals_[id]->restarted();
   node->set_journal(journals_[id].get());
+  if (options_.state_sync) {
+    node->enable_state_sync(options_.statesync_config);
+  }
 
-  NodeRecoveryInfo& info = recovery_info_[id];
-  info.happened = true;
-  info.restarted_at = sim_.now();
+  info.outcome =
+      full_sync ? RestartOutcome::kStateSync : RestartOutcome::kLocalRecovery;
   info.recovery_cpu = node->cpu_time_used();
-  info.stats = recovered.stats;
   ++restarts_;
 
   network_->attach(node.get());
   nodes_[id] = std::move(node);
   nodes_[id]->on_start();
+  if (options_.state_sync) {
+    if (full_sync) {
+      nodes_[id]->statesync()->begin_full_sync();
+    } else {
+      // Local recovery may have left reveal holes (payload bytes are not
+      // journaled); catch-up pulls them from peers.
+      nodes_[id]->statesync()->begin_catchup();
+    }
+  }
+  return true;
+}
+
+void LyraCluster::wipe_disk(NodeId id) {
+  LYRA_ASSERT(options_.durable_storage, "wipe_disk requires durable_storage");
+  LYRA_ASSERT(id < nodes_.size() && nodes_[id] == nullptr,
+              "wipe the disk of a crashed node, not a live one");
+  disks_[id]->wipe();
+}
+
+void LyraCluster::corrupt_wal(NodeId id) {
+  LYRA_ASSERT(options_.durable_storage,
+              "corrupt_wal requires durable_storage");
+  LYRA_ASSERT(id < nodes_.size() && nodes_[id] == nullptr,
+              "corrupt the WAL of a crashed node, not a live one");
+  for (const std::string& name : disks_[id]->list()) {
+    std::uint64_t index = 0;
+    if (storage::parse_wal_segment_name(name, index)) {
+      disks_[id]->corrupt(name, /*offset=*/12);  // inside the first frame
+    }
+  }
+  // Bit rot in old segments can hide behind a snapshot: recovery only
+  // replays segments >= the newest snapshot's replay point, and when the
+  // post-snapshot suffix is empty nothing above touches the scanned range.
+  // Plant a complete frame with a wrong CRC in a segment index far above
+  // any replay point so the scan must hit mid-log corruption. Two frames
+  // with different trailers for the same bytes guarantee at least one CRC
+  // mismatch without recomputing the checksum here.
+  Bytes frame = {0x04, 0x00, 0x00, 0x00, 0x01, 0xde, 0xad, 0xbe, 0xef};
+  Bytes planted;
+  for (std::uint8_t crc : {std::uint8_t{0x00}, std::uint8_t{0xff}}) {
+    planted.insert(planted.end(), frame.begin(), frame.end());
+    planted.insert(planted.end(), 4, crc);
+  }
+  disks_[id]->append(storage::wal_segment_name(9999999999ull), planted);
 }
 
 void LyraCluster::schedule_crash_restart(NodeId id, TimeNs crash_at,
@@ -173,6 +273,26 @@ std::size_t LyraCluster::max_ledger_length() const {
     if (n != nullptr) len = std::max(len, n->ledger().size());
   }
   return len;
+}
+
+statesync::StateSyncStats LyraCluster::statesync_totals() const {
+  statesync::StateSyncStats total;
+  for (const auto& n : nodes_) {
+    if (n == nullptr || n->statesync() == nullptr) continue;
+    const statesync::StateSyncStats& s = n->statesync()->stats();
+    total.syncs_started += s.syncs_started;
+    total.syncs_completed += s.syncs_completed;
+    total.manifest_rounds += s.manifest_rounds;
+    total.chunks_fetched += s.chunks_fetched;
+    total.chunks_rejected += s.chunks_rejected;
+    total.chunk_timeouts += s.chunk_timeouts;
+    total.bytes_transferred += s.bytes_transferred;
+    total.entries_installed += s.entries_installed;
+    total.catchup_reveals += s.catchup_reveals;
+    total.catchup_rejections += s.catchup_rejections;
+    total.peers_demoted += s.peers_demoted;
+  }
+  return total;
 }
 
 std::uint64_t LyraCluster::total_late_accepts() const {

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "client/client_pool.hpp"
@@ -33,12 +34,35 @@ struct LyraClusterOptions {
   /// benches keep the volatile fast path.
   bool durable_storage = false;
   storage::DurableJournal::Options journal;
+
+  /// Give every consensus node a StateSyncManager (src/statesync): nodes
+  /// serve peer sync requests, a restarted node catches up on reveal holes,
+  /// and a node whose disk is unrecoverable rejoins via full state
+  /// transfer instead of staying down. Requires durable_storage.
+  bool state_sync = false;
+  statesync::StateSyncConfig statesync_config;
 };
+
+/// How a restart_node() call resolved.
+enum class RestartOutcome {
+  kNone,           ///< never restarted
+  kLocalRecovery,  ///< disk state decoded; rejoined via the resync gate
+  kStateSync,      ///< disk unusable; wiped and rebuilt via peer transfer
+  // Refusals (restart_node returned false; node stays down). Only
+  // reachable with state_sync off — with it on these become kStateSync.
+  kRefusedWalCorrupt,        ///< mid-log CRC failure
+  kRefusedSnapshotsCorrupt,  ///< snapshots exist but none decodes
+  kRefusedEmptyDisk,         ///< nothing on disk to restart from
+};
+
+const char* to_string(RestartOutcome outcome);
 
 /// What a node's last restart cost: recovery stats from disk plus the
 /// simulated CPU the node spent rebuilding its in-memory state.
 struct NodeRecoveryInfo {
   bool happened = false;
+  RestartOutcome outcome = RestartOutcome::kNone;
+  std::string error;  ///< non-empty iff the restart was refused
   TimeNs restarted_at = 0;
   TimeNs recovery_cpu = 0;
   storage::RecoveryStats stats;
@@ -85,12 +109,26 @@ class LyraCluster {
 
   /// Rebuilds the node from its disk (snapshot + WAL suffix), re-attaches
   /// it, and starts it. The node re-probes distances and rejoins the
-  /// Commit protocol from its recovered state.
-  void restart_node(NodeId id);
+  /// Commit protocol from its recovered state. When the disk is
+  /// unrecoverable (corrupt WAL, undecodable snapshots, or wiped) the
+  /// node instead rejoins via peer state transfer if `state_sync` is on;
+  /// otherwise the restart is refused: returns false, the node stays
+  /// down, and recovery_info(id) carries the outcome and error.
+  bool restart_node(NodeId id);
 
   /// Schedules a crash_node/restart_node pair at absolute simulation
   /// times. Call before or during the run; restart_at must be > crash_at.
   void schedule_crash_restart(NodeId id, TimeNs crash_at, TimeNs restart_at);
+
+  // --- disk fault injection (node must be down) ---
+
+  /// Total media loss: every file on the node's disk is deleted.
+  void wipe_disk(NodeId id);
+
+  /// Bit rot inside the first frame of every WAL segment. With two or
+  /// more journaled records this is a mid-log CRC failure (recovery
+  /// escalates); a single-record WAL degrades to a tolerated torn tail.
+  void corrupt_wal(NodeId id);
 
   bool node_alive(NodeId id) const { return nodes_.at(id) != nullptr; }
   storage::MemDisk* disk(NodeId id) { return disks_.at(id).get(); }
@@ -98,6 +136,10 @@ class LyraCluster {
     return recovery_info_.at(id);
   }
   std::uint64_t restarts() const { return restarts_; }
+
+  /// StateSyncStats summed over the live nodes (zeroes when state_sync is
+  /// off). Per-node figures: node(id).statesync()->stats().
+  statesync::StateSyncStats statesync_totals() const;
 
   // --- cross-node invariants (used by tests) ---
 

@@ -157,6 +157,13 @@ void CommitState::restore_extraction(SeqNum committed, SeqNum cursor_seq,
   }
 }
 
+void CommitState::install_synced(const AcceptedEntry& entry) {
+  const auto [it, inserted] =
+      accepted_index_.emplace(entry.cipher_id, entry.seq);
+  if (!inserted) return;
+  accepted_ordered_.emplace(std::pair{entry.seq, entry.cipher_id}, entry);
+}
+
 std::vector<AcceptedEntry> CommitState::drain_accepted_delta() {
   std::vector<AcceptedEntry> out;
   out.swap(delta_buffer_);

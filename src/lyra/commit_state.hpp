@@ -103,6 +103,12 @@ class CommitState {
   void restore_extraction(SeqNum committed, SeqNum cursor_seq,
                           const crypto::Digest& cursor_id);
 
+  /// Inserts an entry adopted from a peer state transfer: no delta-buffer
+  /// announcement (every peer already has it — that is how it got here)
+  /// and no late-accept count (it lands below the synced cursor by
+  /// construction, which is installation, not a completeness violation).
+  void install_synced(const AcceptedEntry& entry);
+
  private:
   const Config* config_;
 

@@ -85,10 +85,18 @@ void LyraNode::on_message(const sim::Envelope& env) {
   const sim::Payload& p = *env.payload;
   const sim::MsgKind kind = p.kind();
 
-  // Every Lyra protocol message (kInit..kResyncReply) carries the
-  // Commit-protocol piggyback; client messages do not.
-  if (kind >= sim::MsgKind::kInit && kind <= sim::MsgKind::kResyncReply) {
+  // Every Lyra protocol message (kInit..kResyncReply, plus the 4xx
+  // statesync range) carries the Commit-protocol piggyback; client
+  // messages do not.
+  const bool statesync_kind = kind >= sim::MsgKind::kSyncManifestReq &&
+                              kind <= sim::MsgKind::kRevealReply;
+  if ((kind >= sim::MsgKind::kInit && kind <= sim::MsgKind::kResyncReply) ||
+      statesync_kind) {
     apply_status(env.from, static_cast<const LyraMsg&>(p).status);
+  }
+  if (statesync_kind) {
+    if (statesync_ != nullptr) statesync_->on_message(env);
+    return;
   }
 
   switch (kind) {
@@ -210,8 +218,20 @@ void LyraNode::flush_partial_batch() {
 void LyraNode::propose_batch(PendingBatch batch) {
   const InstanceId inst{id(), next_proposal_index_++};
   // Journal the consumed index before the INIT leaves: a restarted node
-  // must never reuse an instance id peers may have seen.
-  if (journal_ != nullptr) journal_->proposal(inst.index);
+  // must never reuse an instance id peers may have seen. The client chunks
+  // ride along so a restarted incarnation can still commit-notify them
+  // (rejected instances leave a dead record behind; it dies with the next
+  // snapshot since only still-pending batches are snapshotted).
+  if (journal_ != nullptr) {
+    journal_->proposal(inst.index);
+    storage::OwnBatchRecord rec;
+    rec.inst = inst;
+    rec.chunks.reserve(batch.chunks.size());
+    for (const BatchAssembler::Chunk& chunk : batch.chunks) {
+      rec.chunks.push_back({chunk.client, chunk.count, chunk.submitted_at});
+    }
+    journal_->own_batch(rec);
+  }
 
   // ordered-propose (Alg. 2): remember s_ref, predict S_t, obfuscate,
   // submit to binary consensus by broadcasting the INIT.
@@ -853,8 +873,12 @@ void LyraNode::merge_accepted(const AcceptedEntry& entry, NodeId from) {
 void LyraNode::try_commit() {
   commit_.recompute();
   // Post-restart: the accepted set may have holes until f+1 peers answered
-  // the resync; extracting across a hole would fork this ledger.
-  if (resync_pending_) return;
+  // the resync; extracting across a hole would fork this ledger. Likewise
+  // while a snapshot transfer runs: extraction would race the install.
+  if (resync_pending_ ||
+      (statesync_ != nullptr && statesync_->sync_active())) {
+    return;
+  }
   const std::vector<AcceptedEntry> wave = commit_.take_committable();
   if (wave.empty()) return;
 
@@ -889,7 +913,12 @@ void LyraNode::try_commit() {
     if (journal_ != nullptr) journal_->committed(entry, rec.tx_count);
     LYRA_TRACE("commit", "seq=" + std::to_string(entry.seq));
 
-    if (!rec.have_cipher) continue;  // share + reveal catch up on arrival
+    if (!rec.have_cipher) {
+      // Share + reveal catch up when the cipher arrives; if it never does
+      // (GC'd everywhere), the statesync reveal catch-up fills the hole.
+      if (statesync_ != nullptr) statesync_->note_unrevealed_commit();
+      continue;
+    }
     if (config_.obfuscate) {
       charge(ccost(config_.costs.vss_partial_decrypt));
       const crypto::VssShare share = vss_.partial_decrypt(rec.cipher, signer_);
@@ -963,11 +992,16 @@ void LyraNode::finalize_reveal(const crypto::Digest& cipher_id,
   RevealRecord& rec = reveal_[cipher_id];
   LYRA_ASSERT(rec.committed && !rec.revealed, "reveal before commit");
   rec.revealed = true;
-  if (journal_ != nullptr) journal_->revealed(cipher_id);
+  // Normal path: the digest comes from the cipher. Catch-up installs have
+  // no cipher; sync_install_payload stamped rec.payload_digest already.
+  if (rec.have_cipher) rec.payload_digest = rec.cipher.payload_digest;
 
   CommittedBatch& cb = ledger_[rec.ledger_slot];
   cb.revealed_at = now();
   cb.tx_count = rec.tx_count != 0 ? rec.tx_count : cb.tx_count;
+  if (journal_ != nullptr) {
+    journal_->revealed(cipher_id, rec.payload_digest, cb.tx_count);
+  }
   cb.payload = std::move(payload);
   ++stats_.revealed_batches;
   stats_.committed_txs += cb.tx_count;
@@ -992,22 +1026,33 @@ void LyraNode::finalize_reveal(const crypto::Digest& cipher_id,
 }
 
 void LyraNode::notify_clients(const InstanceId& inst, SeqNum seq) {
+  const auto notify = [&](const std::vector<BatchAssembler::Chunk>& chunks) {
+    for (const BatchAssembler::Chunk& chunk : chunks) {
+      if (chunk.client == kNoNode || chunk.client == id()) continue;
+      auto msg = std::make_shared<CommitNotifyMsg>();
+      msg->count = chunk.count;
+      msg->submitted_at = chunk.submitted_at;
+      msg->seq = seq;
+      send(chunk.client, msg);
+    }
+  };
   const auto it = own_batches_.find(inst);
-  if (it == own_batches_.end()) return;
-  for (const BatchAssembler::Chunk& chunk : it->second.chunks) {
-    if (chunk.client == kNoNode || chunk.client == id()) continue;
-    auto msg = std::make_shared<CommitNotifyMsg>();
-    msg->count = chunk.count;
-    msg->submitted_at = chunk.submitted_at;
-    msg->seq = seq;
-    send(chunk.client, msg);
+  if (it != own_batches_.end()) {
+    notify(it->second.chunks);
+    own_batches_.erase(it);
+    own_s_ref_.erase(inst);
+    own_proposed_at_.erase(inst);
+    // A proposal slot freed up; drain any backlog.
+    maybe_propose();
+    if (!assembler_.empty()) arm_batch_timer();
+    return;
   }
-  own_batches_.erase(it);
-  own_s_ref_.erase(inst);
-  own_proposed_at_.erase(inst);
-  // A proposal slot freed up; drain any backlog.
-  maybe_propose();
-  if (!assembler_.empty()) arm_batch_timer();
+  // Replay path: a batch proposed by a pre-crash incarnation just
+  // committed+revealed; its clients are still waiting on the notification.
+  const auto pit = pending_notify_.find(inst);
+  if (pit == pending_notify_.end()) return;
+  notify(pit->second);
+  pending_notify_.erase(pit);
 }
 
 // ---------------------------------------------------------------------------
@@ -1088,9 +1133,27 @@ storage::Snapshot LyraNode::make_snapshot() const {
     rec.tx_count = cb.tx_count;
     rec.revealed = cb.revealed_at > 0;
     const auto it = reveal_.find(cb.cipher_id);
-    rec.share_released = it != reveal_.end() && it->second.share_broadcast;
+    if (it != reveal_.end()) {
+      rec.share_released = it->second.share_broadcast;
+      rec.payload_digest = it->second.payload_digest;
+    }
     snap.ledger.push_back(rec);
   }
+  // Un-notified own batches: both live ones and replay leftovers from a
+  // previous incarnation. Rejected-and-resubmitted instances are absent
+  // from both maps, so their stale WAL records die here.
+  const auto add_own = [&](const InstanceId& inst,
+                           const std::vector<BatchAssembler::Chunk>& chunks) {
+    storage::OwnBatchRecord rec;
+    rec.inst = inst;
+    rec.chunks.reserve(chunks.size());
+    for (const BatchAssembler::Chunk& chunk : chunks) {
+      rec.chunks.push_back({chunk.client, chunk.count, chunk.submitted_at});
+    }
+    snap.own_batches.push_back(std::move(rec));
+  };
+  for (const auto& [inst, batch] : own_batches_) add_own(inst, batch.chunks);
+  for (const auto& [inst, chunks] : pending_notify_) add_own(inst, chunks);
   return snap;
 }
 
@@ -1113,7 +1176,14 @@ void LyraNode::restore(const storage::RecoveredState& recovered) {
   // each one that ran since the base snapshot, plus ourselves.
   status_counter_ = recovered.status_counter +
                     (recovered.restarts + 1) * (1ULL << 32);
-  if (!recovered.found) return;
+  if (!recovered.found) {
+    // Wiped or virgin disk: no durable restart count to stride by, so a
+    // second wipe would land on the same epoch. Fold the clock in —
+    // strictly increasing across restarts, and still far above any
+    // pre-crash counter.
+    status_counter_ += static_cast<std::uint64_t>(now());
+    return;
+  }
 
   next_proposal_index_ = recovered.next_proposal_index;
   commit_.restore_accepted(recovered.accepted);
@@ -1130,6 +1200,7 @@ void LyraNode::restore(const storage::RecoveredState& recovered) {
     // not persisted — a ReqInit pull refills it if a reveal is still due.
     rr.share_broadcast = rec.share_released;
     rr.revealed = rec.revealed;
+    rr.payload_digest = rec.payload_digest;
     rr.ledger_slot = ledger_.size();
 
     CommittedBatch cb;
@@ -1159,10 +1230,207 @@ void LyraNode::restore(const storage::RecoveredState& recovered) {
     commit_.restore_extraction(ledger_.back().seq, ledger_.back().seq,
                                ledger_.back().cipher_id);
   }
+
+  // Own batches journaled but never client-notified. Notification happens
+  // in the same instant as the reveal (finalize_reveal), so a batch whose
+  // ledger entry is revealed was notified pre-crash; everything else is
+  // queued for replay when its entry finally reveals.
+  std::unordered_map<InstanceId, bool> inst_revealed;
+  for (const storage::LedgerEntryRecord& rec : recovered.ledger) {
+    inst_revealed[rec.entry.inst] = rec.revealed;
+  }
+  for (const storage::OwnBatchRecord& rec : recovered.own_batches) {
+    const auto it = inst_revealed.find(rec.inst);
+    if (it != inst_revealed.end() && it->second) continue;  // notified
+    std::vector<BatchAssembler::Chunk> chunks;
+    chunks.reserve(rec.chunks.size());
+    for (const storage::OwnBatchChunk& chunk : rec.chunks) {
+      chunks.push_back({chunk.client, chunk.count, chunk.submitted_at});
+    }
+    pending_notify_.emplace(rec.inst, std::move(chunks));
+  }
   LYRA_TRACE("recover",
              "ledger=" + std::to_string(ledger_.size()) +
                  " accepted=" + std::to_string(commit_.accepted_count()) +
                  " replayed=" + std::to_string(recovered.stats.replayed_records));
+}
+
+// ---------------------------------------------------------------------------
+// Peer state transfer & catch-up (src/statesync)
+// ---------------------------------------------------------------------------
+
+void LyraNode::enable_state_sync(statesync::StateSyncConfig cfg) {
+  statesync_ = std::make_unique<statesync::StateSyncManager>(
+      this, config_.n, config_.f, config_.delta, cfg);
+}
+
+NodeId LyraNode::sync_self() const { return id(); }
+
+void LyraNode::sync_send(NodeId to, std::shared_ptr<LyraMsg> msg) {
+  fill_status(msg->status, /*broadcast=*/false);
+  send(to, std::move(msg));
+}
+
+void LyraNode::sync_broadcast(std::shared_ptr<LyraMsg> msg) {
+  fill_status(msg->status, /*broadcast=*/true);
+  broadcast(std::move(msg));
+}
+
+std::uint64_t LyraNode::sync_set_timer(TimeNs delay,
+                                       std::function<void()> fn) {
+  return set_timer(delay, std::move(fn));
+}
+
+void LyraNode::sync_charge_hash(std::size_t bytes) {
+  charge(ccost(config_.costs.hash_cost(bytes)));
+}
+
+std::uint64_t LyraNode::sync_ledger_length() const { return ledger_.size(); }
+
+std::vector<AcceptedEntry> LyraNode::sync_committed_prefix(
+    std::uint64_t upto) const {
+  const std::size_t count =
+      std::min<std::uint64_t>(upto, ledger_.size());
+  std::vector<AcceptedEntry> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AcceptedEntry e;
+    e.cipher_id = ledger_[i].cipher_id;
+    e.seq = ledger_[i].seq;
+    e.inst = ledger_[i].inst;
+    out.push_back(e);
+  }
+  return out;
+}
+
+bool LyraNode::sync_lookup_reveal(const crypto::Digest& cipher_id,
+                                  crypto::Digest& payload_digest,
+                                  std::uint32_t& tx_count,
+                                  Bytes& payload) const {
+  const auto it = reveal_.find(cipher_id);
+  if (it == reveal_.end() || !it->second.revealed) return false;
+  payload_digest = it->second.payload_digest;
+  tx_count = it->second.tx_count;
+  payload.clear();
+  if (config_.retain_payloads && ledger_.size() > it->second.ledger_slot) {
+    payload = ledger_[it->second.ledger_slot].payload;
+  }
+  return true;
+}
+
+bool LyraNode::sync_verify_payload(BytesView payload,
+                                   const crypto::Digest& digest) const {
+  // Same digest convention the proposer used (vss.cpp / propose_batch's
+  // ablation branch) — which one depends on the deployment's obfuscation
+  // setting, which is why this check lives on the node, not the manager.
+  const crypto::Digest computed =
+      config_.obfuscate
+          ? crypto::Hasher().add_str("vss-payload").add(payload).digest()
+          : crypto::Hasher().add_str("clear").add(payload).digest();
+  return computed == digest;
+}
+
+void LyraNode::sync_install_prefix(
+    const std::vector<AcceptedEntry>& entries) {
+  // f+1 distinct peers vouched for this prefix, so at least one correct
+  // node committed it. Our own ledger was extracted under the same quorum
+  // rules; a divergence here would mean the protocol's safety broke.
+  LYRA_ASSERT(entries.size() >= ledger_.size(),
+              "synced cut below the local ledger");
+  for (std::size_t i = 0; i < ledger_.size(); ++i) {
+    LYRA_ASSERT(ledger_[i].cipher_id == entries[i].cipher_id,
+                "local ledger is not a prefix of the synced one");
+  }
+  for (std::size_t i = ledger_.size(); i < entries.size(); ++i) {
+    const AcceptedEntry& e = entries[i];
+    // An amnesiac proposer must never reuse an instance id that peers
+    // already decided; the synced prefix names every committed one.
+    if (e.inst.proposer == id()) {
+      next_proposal_index_ = std::max(next_proposal_index_, e.inst.index + 1);
+    }
+    commit_.install_synced(e);
+    RevealRecord& rec = reveal_[e.cipher_id];
+    rec.inst = e.inst;
+    rec.seq = e.seq;
+    rec.committed = true;
+    rec.ledger_slot = ledger_.size();
+
+    CommittedBatch cb;
+    cb.seq = e.seq;
+    cb.inst = e.inst;
+    cb.cipher_id = e.cipher_id;
+    cb.tx_count = rec.tx_count;
+    cb.committed_at = now();
+    ledger_.push_back(std::move(cb));
+    ++stats_.committed_batches;
+
+    charge(ccost(config_.costs.hash_cost(72)));
+    chain_hash_ = crypto::Hasher()
+                      .add(chain_hash_)
+                      .add_i64(e.seq)
+                      .add(e.cipher_id)
+                      .digest();
+    if (journal_ != nullptr) journal_->committed(e, rec.tx_count);
+    // The cipher may already be here (InitRelay raced the sync): share and
+    // reveal right away instead of waiting for catch-up.
+    if (rec.have_cipher) on_cipher_for_committed(e.cipher_id);
+  }
+  if (!ledger_.empty()) {
+    commit_.restore_extraction(
+        std::max(commit_.committed(), ledger_.back().seq),
+        ledger_.back().seq, ledger_.back().cipher_id);
+  }
+  LYRA_TRACE("statesync",
+             "installed prefix len=" + std::to_string(ledger_.size()));
+}
+
+std::vector<crypto::Digest> LyraNode::sync_unrevealed(
+    std::size_t limit) const {
+  std::vector<crypto::Digest> out;
+  for (const CommittedBatch& cb : ledger_) {
+    if (out.size() >= limit) break;
+    const auto it = reveal_.find(cb.cipher_id);
+    const bool revealed = it != reveal_.end() && it->second.revealed;
+    // A restored entry can be revealed on record yet hold no bytes: the
+    // journal keeps the reveal digest, not the payload. When payloads are
+    // retained, that is still a hole catch-up must close.
+    const bool bytes_missing = config_.retain_payloads && cb.payload.empty();
+    if (!revealed || bytes_missing) out.push_back(cb.cipher_id);
+  }
+  return out;
+}
+
+bool LyraNode::sync_install_payload(const crypto::Digest& cipher_id,
+                                    const Bytes& payload,
+                                    const crypto::Digest& payload_digest,
+                                    std::uint32_t tx_count) {
+  const auto it = reveal_.find(cipher_id);
+  if (it == reveal_.end()) return false;
+  RevealRecord& rec = it->second;
+  if (!rec.committed) return false;
+  if (rec.revealed) {
+    // Reveal digest survived in the journal but the bytes did not. Our
+    // own durable digest outranks the peer vote quorum: reject anything
+    // that does not match it, and only refill — the reveal was already
+    // finalized (and clients notified) by the pre-crash incarnation.
+    CommittedBatch& cb = ledger_[rec.ledger_slot];
+    if (!config_.retain_payloads || !cb.payload.empty()) return false;
+    if (payload_digest != rec.payload_digest) return false;
+    cb.payload = payload;
+    return true;
+  }
+  rec.payload_digest = payload_digest;
+  rec.tx_count = tx_count;
+  finalize_reveal(cipher_id, payload);
+  return true;
+}
+
+void LyraNode::sync_completed() {
+  // The install moved the extraction cursor; the commit machinery may
+  // already hold entries beyond it. Also cut a snapshot so the adopted
+  // prefix does not ride on the WAL alone.
+  try_commit();
+  if (journal_ != nullptr) journal_->write_snapshot(make_snapshot());
 }
 
 }  // namespace lyra::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "ordering/distance_table.hpp"
 #include "ordering/ordering_clock.hpp"
 #include "sim/process.hpp"
+#include "statesync/manager.hpp"
 #include "storage/journal.hpp"
 #include "storage/recovery.hpp"
 #include "support/stats.hpp"
@@ -67,7 +69,7 @@ struct NodeStats {
 /// observes, the Commit protocol (Alg. 4) over the accepted transactions,
 /// and the commit-reveal scheme on top. Byzantine behaviours subclass this
 /// and override the virtual hooks.
-class LyraNode : public sim::Process {
+class LyraNode : public sim::Process, public statesync::StateSyncHost {
  public:
   LyraNode(sim::Simulation* sim, net::Network* network, NodeId id,
            const Config& config, const crypto::KeyRegistry* registry);
@@ -117,6 +119,41 @@ class LyraNode : public sim::Process {
   /// hash, and reveal bookkeeping, and skips the status counter to a new
   /// epoch so this incarnation's piggybacks never look stale to peers.
   void restore(const storage::RecoveredState& recovered);
+
+  // --- peer state transfer & catch-up (src/statesync) ---
+
+  /// Creates this node's StateSyncManager so it serves peer sync requests
+  /// and can itself sync/catch up. Without it, 4xx messages are dropped.
+  void enable_state_sync(statesync::StateSyncConfig cfg = {});
+  statesync::StateSyncManager* statesync() { return statesync_.get(); }
+  const statesync::StateSyncManager* statesync() const {
+    return statesync_.get();
+  }
+
+  // StateSyncHost (callbacks driven by the manager; public because the
+  // interface is, but not meant for direct use).
+  NodeId sync_self() const override;
+  void sync_send(NodeId to, std::shared_ptr<LyraMsg> msg) override;
+  void sync_broadcast(std::shared_ptr<LyraMsg> msg) override;
+  std::uint64_t sync_set_timer(TimeNs delay,
+                               std::function<void()> fn) override;
+  void sync_charge_hash(std::size_t bytes) override;
+  std::uint64_t sync_ledger_length() const override;
+  std::vector<AcceptedEntry> sync_committed_prefix(
+      std::uint64_t upto) const override;
+  bool sync_lookup_reveal(const crypto::Digest& cipher_id,
+                          crypto::Digest& payload_digest,
+                          std::uint32_t& tx_count,
+                          Bytes& payload) const override;
+  bool sync_verify_payload(BytesView payload,
+                           const crypto::Digest& digest) const override;
+  void sync_install_prefix(const std::vector<AcceptedEntry>& entries) override;
+  std::vector<crypto::Digest> sync_unrevealed(std::size_t limit) const override;
+  bool sync_install_payload(const crypto::Digest& cipher_id,
+                            const Bytes& payload,
+                            const crypto::Digest& payload_digest,
+                            std::uint32_t tx_count) override;
+  void sync_completed() override;
 
  protected:
   void on_message(const sim::Envelope& env) override;
@@ -222,6 +259,12 @@ class LyraNode : public sim::Process {
   std::unordered_map<InstanceId, PendingBatch> own_batches_;
   std::unordered_map<InstanceId, SeqNum> own_s_ref_;
   std::unordered_map<InstanceId, TimeNs> own_proposed_at_;
+  /// Own batches recovered from disk whose clients were never
+  /// commit-notified (payload is gone; only the notification chunks
+  /// survive). Kept apart from own_batches_ so they neither consume
+  /// proposal slots nor look re-proposable.
+  std::unordered_map<InstanceId, std::vector<BatchAssembler::Chunk>>
+      pending_notify_;
 
   // Reveal state per accepted cipher.
   struct RevealRecord {
@@ -235,6 +278,10 @@ class LyraNode : public sim::Process {
     bool share_broadcast = false;
     bool revealed = false;
     std::size_t ledger_slot = 0;
+    /// Digest of the revealed payload (zero until known). Kept after the
+    /// payload bytes are dropped so this node can serve state-sync digest
+    /// votes; persisted via the reveal WAL record and snapshots.
+    crypto::Digest payload_digest{};
   };
   std::unordered_map<crypto::Digest, RevealRecord, crypto::DigestHash>
       reveal_;
@@ -249,6 +296,7 @@ class LyraNode : public sim::Process {
   bool commit_poll_scheduled_ = false;
   std::function<void(const CommittedBatch&)> reveal_hook_;
   storage::Journal* journal_ = nullptr;
+  std::unique_ptr<statesync::StateSyncManager> statesync_;
 
   // Post-restart resync gate: no commit extraction until f+1 peers
   // answered the accepted-set pull (restore() arms it, see lyra_node.cpp).

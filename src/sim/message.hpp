@@ -36,6 +36,13 @@ enum class MsgKind : std::uint16_t {
   kTsRequest = 300,
   kTsReply,
   kSequence,
+  // statesync — 4xx (peer state transfer & catch-up)
+  kSyncManifestReq = 400,
+  kSyncManifestReply,
+  kSyncChunkReq,
+  kSyncChunkReply,
+  kRevealReq,
+  kRevealReply,
 };
 
 /// Base class of every protocol message payload. Payloads are immutable

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "lyra/messages.hpp"
+#include "support/bytes.hpp"
+#include "support/types.hpp"
+
+namespace lyra::statesync {
+
+using sim::MsgKind;
+
+/// Manifest probe/request. `want_cut == 0` is the length probe (round 1 of
+/// the cut protocol): the receiver reports how long its committed prefix
+/// is. A non-zero `want_cut` asks for the manifest of the first `want_cut`
+/// committed entries, chunked at `chunk_bytes` (the requester's chunking
+/// granularity travels with the request so every peer's manifest digests
+/// are computed over identical chunk boundaries).
+struct SyncManifestReqMsg final : core::LyraMsg {
+  std::uint64_t want_cut = 0;
+  std::uint64_t chunk_bytes = 0;
+
+  const char* name() const override { return "SYNC_MANIFEST_REQ"; }
+  MsgKind kind() const override { return MsgKind::kSyncManifestReq; }
+  std::size_t wire_size() const override { return 96; }
+};
+
+/// Answer to a SyncManifestReqMsg. For a length probe only `ledger_len` is
+/// meaningful. For a manifest request, `have` says whether the responder's
+/// committed prefix reaches the cut; if so it describes the encoded prefix
+/// blob: total byte size, per-chunk digests, and the manifest digest
+/// binding them (see chunking.hpp). The requester adopts a manifest only
+/// once f+1 distinct peers reported the same digest.
+struct SyncManifestReplyMsg final : core::LyraMsg {
+  std::uint64_t cut = 0;  ///< echoed want_cut (0 for a length probe)
+  std::uint64_t ledger_len = 0;
+  bool have = false;
+  std::uint64_t total_bytes = 0;
+  std::vector<crypto::Digest> chunk_digests;
+  crypto::Digest manifest_digest{};
+
+  const char* name() const override { return "SYNC_MANIFEST_REPLY"; }
+  MsgKind kind() const override { return MsgKind::kSyncManifestReply; }
+  std::size_t wire_size() const override {
+    return 144 + chunk_digests.size() * 32;
+  }
+};
+
+/// Pull one chunk of the prefix blob at `cut`.
+struct SyncChunkReqMsg final : core::LyraMsg {
+  std::uint64_t cut = 0;
+  std::uint64_t chunk_bytes = 0;
+  std::uint32_t chunk = 0;
+
+  const char* name() const override { return "SYNC_CHUNK_REQ"; }
+  MsgKind kind() const override { return MsgKind::kSyncChunkReq; }
+  std::size_t wire_size() const override { return 104; }
+};
+
+/// One chunk of the encoded prefix blob; `have == false` when the
+/// responder's prefix no longer serves the cut (it never shrinks, so this
+/// only happens when the responder itself restarted below it).
+struct SyncChunkReplyMsg final : core::LyraMsg {
+  std::uint64_t cut = 0;
+  std::uint32_t chunk = 0;
+  bool have = false;
+  Bytes data;
+
+  const char* name() const override { return "SYNC_CHUNK_REPLY"; }
+  MsgKind kind() const override { return MsgKind::kSyncChunkReply; }
+  std::size_t wire_size() const override { return 104 + data.size(); }
+};
+
+/// Reveal catch-up request: for each committed-but-locally-unrevealed
+/// cipher, ask what the revealed payload hashed to (and how many
+/// transactions it carried). Only the designated payload server of the
+/// round is asked for the payload bytes themselves (`want_payload`); every
+/// other peer contributes a cheap digest vote. The requester installs a
+/// payload only when f+1 distinct peers vouch for its digest.
+struct RevealReqMsg final : core::LyraMsg {
+  std::vector<crypto::Digest> cipher_ids;
+  bool want_payload = false;
+
+  const char* name() const override { return "REVEAL_REQ"; }
+  MsgKind kind() const override { return MsgKind::kRevealReq; }
+  std::size_t wire_size() const override {
+    return 88 + cipher_ids.size() * 32;
+  }
+};
+
+/// Per-cipher reveal facts from one peer. `payload` is present only when
+/// the request asked for it and the responder still retains the bytes;
+/// digest votes flow regardless (a peer that dropped the payload after
+/// execution still remembers what it hashed to).
+struct RevealReplyMsg final : core::LyraMsg {
+  struct Item {
+    crypto::Digest cipher_id{};
+    crypto::Digest payload_digest{};
+    std::uint32_t tx_count = 0;
+    bool have_payload = false;
+    Bytes payload;
+  };
+  std::vector<Item> items;
+
+  const char* name() const override { return "REVEAL_REPLY"; }
+  MsgKind kind() const override { return MsgKind::kRevealReply; }
+  std::size_t wire_size() const override {
+    std::size_t total = 88;
+    for (const Item& item : items) total += 80 + item.payload.size();
+    return total;
+  }
+};
+
+}  // namespace lyra::statesync

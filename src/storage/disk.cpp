@@ -46,4 +46,6 @@ void MemDisk::corrupt(const std::string& name, std::size_t offset,
   }
 }
 
+void MemDisk::wipe() { files_.clear(); }
+
 }  // namespace lyra::storage

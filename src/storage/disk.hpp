@@ -62,6 +62,10 @@ class MemDisk final : public Disk {
   void corrupt(const std::string& name, std::size_t offset,
                std::uint8_t xor_mask = 0xFF);
 
+  /// Deletes every file (total media loss). The node that owned this disk
+  /// can then only rejoin via peer state transfer.
+  void wipe();
+
   std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:

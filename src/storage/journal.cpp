@@ -61,6 +61,59 @@ bool decode_committed_record(BytesView payload, core::AcceptedEntry& out,
   return r.ok() && r.remaining() == 0;
 }
 
+Bytes encode_revealed_record(const crypto::Digest& cipher_id,
+                             const crypto::Digest& payload_digest,
+                             std::uint32_t tx_count) {
+  Bytes out;
+  out.reserve(68);
+  append_digest(out, cipher_id);
+  append_digest(out, payload_digest);
+  append_u32(out, tx_count);
+  return out;
+}
+
+bool decode_revealed_record(BytesView payload, crypto::Digest& cipher_id,
+                            crypto::Digest& payload_digest,
+                            std::uint32_t& tx_count) {
+  ByteReader r(payload);
+  cipher_id = r.digest();
+  payload_digest = r.digest();
+  tx_count = r.u32();
+  return r.ok() && r.remaining() == 0;
+}
+
+Bytes encode_own_batch_record(const OwnBatchRecord& rec) {
+  Bytes out;
+  out.reserve(20 + rec.chunks.size() * 16);
+  append_instance(out, rec.inst);
+  append_u64(out, rec.chunks.size());
+  for (const OwnBatchChunk& chunk : rec.chunks) {
+    append_u32(out, chunk.client);
+    append_u32(out, chunk.count);
+    append_i64(out, chunk.submitted_at);
+  }
+  return out;
+}
+
+bool decode_own_batch_record(BytesView payload, OwnBatchRecord& out) {
+  ByteReader r(payload);
+  OwnBatchRecord rec;
+  rec.inst = r.instance();
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count * 16 != r.remaining()) return false;
+  rec.chunks.reserve(count);
+  for (std::uint64_t c = 0; c < count && r.ok(); ++c) {
+    OwnBatchChunk chunk;
+    chunk.client = r.u32();
+    chunk.count = r.u32();
+    chunk.submitted_at = r.i64();
+    rec.chunks.push_back(chunk);
+  }
+  if (!r.ok() || r.remaining() != 0) return false;
+  out = std::move(rec);
+  return true;
+}
+
 DurableJournal::DurableJournal(Disk* disk)
     : DurableJournal(disk, Options{}) {}
 
@@ -95,11 +148,11 @@ void DurableJournal::committed(const core::AcceptedEntry& entry,
   ++committed_since_snapshot_;
 }
 
-void DurableJournal::revealed(const crypto::Digest& cipher_id) {
-  Bytes payload;
-  payload.reserve(cipher_id.size());
-  append_digest(payload, cipher_id);
-  append(WalRecordType::kRevealed, payload);
+void DurableJournal::revealed(const crypto::Digest& cipher_id,
+                              const crypto::Digest& payload_digest,
+                              std::uint32_t tx_count) {
+  append(WalRecordType::kRevealed,
+         encode_revealed_record(cipher_id, payload_digest, tx_count));
 }
 
 void DurableJournal::proposal(std::uint64_t index) {
@@ -107,6 +160,10 @@ void DurableJournal::proposal(std::uint64_t index) {
   payload.reserve(8);
   append_u64(payload, index);
   append(WalRecordType::kProposal, payload);
+}
+
+void DurableJournal::own_batch(const OwnBatchRecord& rec) {
+  append(WalRecordType::kOwnBatch, encode_own_batch_record(rec));
 }
 
 void DurableJournal::restarted() { append(WalRecordType::kRestart, {}); }

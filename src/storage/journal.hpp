@@ -14,6 +14,7 @@ enum class WalRecordType : std::uint8_t {
   kRevealed = 3,   ///< committed entry's payload was reconstructed
   kProposal = 4,   ///< own proposal index consumed (never reuse instance ids)
   kRestart = 5,    ///< a recovered incarnation began (status-epoch marker)
+  kOwnBatch = 6,   ///< own batch proposed; clients to notify on its commit
 };
 
 /// The node-facing durability interface. LyraNode calls these hooks at the
@@ -31,8 +32,21 @@ class Journal {
     (void)entry;
     (void)tx_count;
   }
-  virtual void revealed(const crypto::Digest& cipher_id) { (void)cipher_id; }
+  /// `payload_digest`/`tx_count` let recovery serve state-sync digest
+  /// votes and repair hole-committed entries (committed with tx_count 0
+  /// before the payload was known); defaulted so callers that only track
+  /// the reveal event keep working.
+  virtual void revealed(const crypto::Digest& cipher_id,
+                        const crypto::Digest& payload_digest = crypto::Digest{},
+                        std::uint32_t tx_count = 0) {
+    (void)cipher_id;
+    (void)payload_digest;
+    (void)tx_count;
+  }
   virtual void proposal(std::uint64_t index) { (void)index; }
+  /// An own batch was proposed; its client chunks must survive a crash so
+  /// a restarted proposer can still commit-notify them.
+  virtual void own_batch(const OwnBatchRecord& rec) { (void)rec; }
   /// Called once per recovered incarnation, before the node rejoins.
   virtual void restarted() {}
 
@@ -72,8 +86,11 @@ class DurableJournal final : public Journal {
   void accepted(const core::AcceptedEntry& entry) override;
   void committed(const core::AcceptedEntry& entry,
                  std::uint32_t tx_count) override;
-  void revealed(const crypto::Digest& cipher_id) override;
+  void revealed(const crypto::Digest& cipher_id,
+                const crypto::Digest& payload_digest = crypto::Digest{},
+                std::uint32_t tx_count = 0) override;
   void proposal(std::uint64_t index) override;
+  void own_batch(const OwnBatchRecord& rec) override;
   bool snapshot_due() const override;
   void write_snapshot(const Snapshot& snap) override;
 
@@ -104,5 +121,15 @@ Bytes encode_committed_record(const core::AcceptedEntry& entry,
                               std::uint32_t tx_count);
 bool decode_committed_record(BytesView payload, core::AcceptedEntry& out,
                              std::uint32_t& tx_count);
+
+Bytes encode_revealed_record(const crypto::Digest& cipher_id,
+                             const crypto::Digest& payload_digest,
+                             std::uint32_t tx_count);
+bool decode_revealed_record(BytesView payload, crypto::Digest& cipher_id,
+                            crypto::Digest& payload_digest,
+                            std::uint32_t& tx_count);
+
+Bytes encode_own_batch_record(const OwnBatchRecord& rec);
+bool decode_own_batch_record(BytesView payload, OwnBatchRecord& out);
 
 }  // namespace lyra::storage

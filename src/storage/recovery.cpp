@@ -37,11 +37,14 @@ RecoveredState recover(const Disk& disk) {
   state.next_proposal_index = base.next_proposal_index;
   state.accepted = base.accepted;
   state.ledger = base.ledger;
+  state.own_batches = base.own_batches;
 
   std::unordered_set<crypto::Digest, crypto::DigestHash> accepted_ids;
   std::unordered_set<crypto::Digest, crypto::DigestHash> ledger_ids;
+  std::unordered_set<InstanceId> own_insts;
   for (const auto& e : state.accepted) accepted_ids.insert(e.cipher_id);
   for (const auto& rec : state.ledger) ledger_ids.insert(rec.entry.cipher_id);
+  for (const auto& rec : state.own_batches) own_insts.insert(rec.inst);
 
   const std::uint64_t from_segment =
       state.stats.snapshot_loaded ? base.wal_start_segment : 0;
@@ -68,17 +71,32 @@ RecoveredState recover(const Disk& disk) {
             break;
           }
           case WalRecordType::kRevealed: {
-            ByteReader r(payload);
-            const crypto::Digest id = r.digest();
-            if (!r.ok()) break;
+            crypto::Digest id, payload_digest;
+            std::uint32_t tx_count = 0;
+            if (!decode_revealed_record(payload, id, payload_digest,
+                                        tx_count)) {
+              break;
+            }
             for (LedgerEntryRecord& rec : state.ledger) {
               if (rec.entry.cipher_id == id) {
                 rec.revealed = true;
                 // The commit wave that preceded this reveal broadcast our
                 // decryption share; record the release.
                 rec.share_released = true;
+                rec.payload_digest = payload_digest;
+                // A hole-commit (payload unknown at commit time) journaled
+                // tx_count 0; the reveal record carries the real count.
+                if (tx_count != 0) rec.tx_count = tx_count;
                 break;
               }
+            }
+            break;
+          }
+          case WalRecordType::kOwnBatch: {
+            OwnBatchRecord rec;
+            if (decode_own_batch_record(payload, rec) &&
+                own_insts.insert(rec.inst).second) {
+              state.own_batches.push_back(std::move(rec));
             }
             break;
           }

@@ -43,6 +43,9 @@ struct RecoveredState {
   std::uint64_t next_proposal_index = 0;
   std::vector<core::AcceptedEntry> accepted;
   std::vector<LedgerEntryRecord> ledger;
+  /// Own proposed batches journaled but possibly never client-notified;
+  /// the node filters out the already-revealed ones on restore.
+  std::vector<OwnBatchRecord> own_batches;
   RecoveryStats stats;
 };
 

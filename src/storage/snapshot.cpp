@@ -9,12 +9,14 @@ namespace lyra::storage {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4C59'5253u;  // "LYRS"
-constexpr std::uint32_t kVersion = 1;
+// v2: ledger entries carry the revealed payload digest; own-batch records
+// (pending client notifications) follow the ledger section.
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 Bytes encode_snapshot(const Snapshot& snap) {
   Bytes out;
-  out.reserve(128 + snap.accepted.size() * 44 + snap.ledger.size() * 50);
+  out.reserve(128 + snap.accepted.size() * 44 + snap.ledger.size() * 82);
   append_u32(out, kMagic);
   append_u32(out, kVersion);
   append_u32(out, snap.node);
@@ -39,6 +41,17 @@ Bytes encode_snapshot(const Snapshot& snap) {
     append_u32(out, rec.tx_count);
     out.push_back(static_cast<std::uint8_t>((rec.revealed ? 1 : 0) |
                                             (rec.share_released ? 2 : 0)));
+    append_digest(out, rec.payload_digest);
+  }
+  append_u64(out, snap.own_batches.size());
+  for (const OwnBatchRecord& rec : snap.own_batches) {
+    append_instance(out, rec.inst);
+    append_u64(out, rec.chunks.size());
+    for (const OwnBatchChunk& chunk : rec.chunks) {
+      append_u32(out, chunk.client);
+      append_u32(out, chunk.count);
+      append_i64(out, chunk.submitted_at);
+    }
   }
   append_u32(out, crc32(out));
   return out;
@@ -87,7 +100,26 @@ bool decode_snapshot(BytesView data, Snapshot& out) {
     const std::uint8_t flags = r.u8();
     rec.revealed = (flags & 1) != 0;
     rec.share_released = (flags & 2) != 0;
+    rec.payload_digest = r.digest();
     snap.ledger.push_back(rec);
+  }
+  const std::uint64_t own_count = r.u64();
+  if (own_count > r.remaining()) return false;
+  snap.own_batches.reserve(own_count);
+  for (std::uint64_t i = 0; i < own_count && r.ok(); ++i) {
+    OwnBatchRecord rec;
+    rec.inst = r.instance();
+    const std::uint64_t chunk_count = r.u64();
+    if (chunk_count > r.remaining()) return false;
+    rec.chunks.reserve(chunk_count);
+    for (std::uint64_t c = 0; c < chunk_count && r.ok(); ++c) {
+      OwnBatchChunk chunk;
+      chunk.client = r.u32();
+      chunk.count = r.u32();
+      chunk.submitted_at = r.i64();
+      rec.chunks.push_back(chunk);
+    }
+    snap.own_batches.push_back(std::move(rec));
   }
   if (!r.ok() || r.remaining() != 0) return false;
   out = std::move(snap);

@@ -20,9 +20,34 @@ struct LedgerEntryRecord {
   /// Persisted so a recovered node knows the share is out (it must treat
   /// the payload as public) without being able to forge an early release.
   bool share_released = false;
+  /// Digest of the revealed payload (zero until revealed). Persisted so a
+  /// recovered node can serve state-sync digest votes for entries whose
+  /// payload bytes it no longer retains.
+  crypto::Digest payload_digest{};
 
   friend bool operator==(const LedgerEntryRecord&,
                          const LedgerEntryRecord&) = default;
+};
+
+/// One client chunk carved into an own batch — the storage-side mirror of
+/// BatchAssembler::Chunk, duplicated here so lyra_storage keeps depending
+/// only on header-only core types.
+struct OwnBatchChunk {
+  NodeId client = kNoNode;
+  std::uint32_t count = 0;
+  TimeNs submitted_at = 0;
+
+  friend bool operator==(const OwnBatchChunk&, const OwnBatchChunk&) = default;
+};
+
+/// A batch this node proposed whose clients it has not commit-notified
+/// yet. Persisted so a restarted proposer can replay the notifications —
+/// without them the strictly closed-loop client pools stall forever.
+struct OwnBatchRecord {
+  InstanceId inst;
+  std::vector<OwnBatchChunk> chunks;
+
+  friend bool operator==(const OwnBatchRecord&, const OwnBatchRecord&) = default;
 };
 
 /// Point-in-time image of a node's durable state: the accepted set A, the
@@ -42,6 +67,8 @@ struct Snapshot {
   std::uint64_t wal_start_segment = 0;  // replay WAL from this segment on
   std::vector<core::AcceptedEntry> accepted;
   std::vector<LedgerEntryRecord> ledger;
+  /// Own proposed batches still awaiting client notification.
+  std::vector<OwnBatchRecord> own_batches;
 };
 
 /// Snapshot file body: magic, version, fields, trailing CRC32 over

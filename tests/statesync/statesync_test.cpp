@@ -1,0 +1,368 @@
+// Peer state-transfer & catch-up scenarios (src/statesync): a node whose
+// disk is wiped or corrupted rejoins via full state transfer instead of
+// aborting; restarted nodes fill reveal holes via digest-voted catch-up;
+// Byzantine serving peers cannot poison a transfer; and a restarted
+// proposer replays commit notifications so its closed-loop clients
+// unstall. All invariants are checked against live peers' ledgers —
+// byte-identical payloads included.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/lyra_cluster.hpp"
+
+namespace lyra {
+namespace {
+
+harness::LyraClusterOptions sync_options(std::uint64_t seed = 1,
+                                         std::size_t n = 4,
+                                         std::size_t f = 1) {
+  harness::LyraClusterOptions opts;
+  opts.config.n = n;
+  opts.config.f = f;
+  opts.config.delta = ms(2);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 10;
+  opts.config.batch_timeout = ms(5);
+  opts.config.heartbeat_period = ms(3);
+  opts.config.commit_poll = ms(1);
+  opts.config.probe_period = ms(3);
+  opts.config.clock_offset_spread = us(200);
+  opts.topology = net::single_region(n);
+  opts.seed = seed;
+  opts.durable_storage = true;
+  opts.journal.snapshot_every_committed = 2;
+  opts.state_sync = true;
+  // Small chunks so even a few committed batches need a multi-chunk
+  // transfer (blob is 8 + 52*cut bytes).
+  opts.statesync_config.chunk_bytes = 64;
+  return opts;
+}
+
+using IdLedger = std::vector<std::pair<SeqNum, crypto::Digest>>;
+
+IdLedger ledger_ids(const core::LyraNode& node) {
+  IdLedger out;
+  out.reserve(node.ledger().size());
+  for (const auto& cb : node.ledger()) out.emplace_back(cb.seq, cb.cipher_id);
+  return out;
+}
+
+template <class Pred>
+bool run_until(harness::LyraCluster& cluster, TimeNs deadline, Pred pred) {
+  while (!pred()) {
+    if (cluster.simulation().now() >= deadline) return false;
+    cluster.run_for(ms(1));
+  }
+  return true;
+}
+
+void submit_one_per_node(harness::LyraCluster& cluster, std::size_t n,
+                         const std::string& tag = "tx") {
+  for (NodeId i = 0; i < n; ++i) {
+    cluster.node(i).submit_local(to_bytes(tag + "-" + std::to_string(i)));
+  }
+}
+
+/// True once every ledger entry of `node` carries its revealed payload.
+bool fully_revealed(const core::LyraNode& node) {
+  for (const auto& cb : node.ledger()) {
+    if (cb.revealed_at == 0) return false;
+  }
+  return !node.ledger().empty();
+}
+
+/// Stricter: every entry also holds its payload bytes. A locally-recovered
+/// node can be revealed-on-record while the bytes are still in flight from
+/// catch-up (the journal keeps digests, not payloads).
+bool payloads_complete(const core::LyraNode& node) {
+  for (const auto& cb : node.ledger()) {
+    if (cb.revealed_at == 0 || cb.payload.empty()) return false;
+  }
+  return !node.ledger().empty();
+}
+
+TEST(StateSync, WipedDiskRejoinsViaFullTransfer) {
+  harness::LyraCluster cluster(sync_options(1));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 4);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 4 && fully_revealed(cluster.node(0));
+  }));
+
+  cluster.crash_node(2);
+  cluster.run_for(ms(20));
+  cluster.wipe_disk(2);  // total media loss: local recovery is impossible
+
+  ASSERT_TRUE(cluster.restart_node(2));
+  EXPECT_EQ(cluster.recovery_info(2).outcome,
+            harness::RestartOutcome::kStateSync);
+  EXPECT_TRUE(cluster.recovery_info(2).error.empty());
+
+  // The transfer completes and the rejoined ledger is digest-equal to a
+  // live peer's prefix.
+  ASSERT_TRUE(run_until(cluster, ms(1000), [&] {
+    return cluster.node(2).ledger().size() >= 4;
+  }));
+  const IdLedger peer = ledger_ids(cluster.node(0));
+  const IdLedger synced = ledger_ids(cluster.node(2));
+  ASSERT_GE(synced.size(), 4u);
+  for (std::size_t i = 0; i < std::min(peer.size(), synced.size()); ++i) {
+    EXPECT_EQ(synced[i], peer[i]) << "slot " << i;
+  }
+
+  const statesync::StateSyncStats& st = cluster.node(2).statesync()->stats();
+  EXPECT_GE(st.syncs_completed, 1u);
+  EXPECT_GT(st.chunks_fetched, 1u);  // chunk_bytes=64 forces several
+  EXPECT_GT(st.bytes_transferred, 0u);
+  EXPECT_GE(st.entries_installed, 4u);
+
+  // Reveal catch-up: the wiped node never held any payload; every synced
+  // entry must be reconstructed byte-identically from peers.
+  ASSERT_TRUE(run_until(cluster, ms(1500), [&] {
+    return fully_revealed(cluster.node(2));
+  }));
+  EXPECT_GE(st.catchup_reveals, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(2).ledger()[i].payload,
+              cluster.node(0).ledger()[i].payload)
+        << "slot " << i;
+    EXPECT_EQ(cluster.node(2).ledger()[i].tx_count,
+              cluster.node(0).ledger()[i].tx_count);
+  }
+
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+}
+
+TEST(StateSync, CorruptWalRejoinsViaFullTransfer) {
+  harness::LyraCluster cluster(sync_options(3));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 4);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 4;
+  }));
+
+  cluster.crash_node(1);
+  cluster.run_for(ms(20));
+  cluster.corrupt_wal(1);  // mid-log bit rot: the WAL cannot be trusted
+
+  ASSERT_TRUE(cluster.restart_node(1));
+  EXPECT_EQ(cluster.recovery_info(1).outcome,
+            harness::RestartOutcome::kStateSync);
+
+  ASSERT_TRUE(run_until(cluster, ms(1000), [&] {
+    return cluster.node(1).ledger().size() >= 4;
+  }));
+  const IdLedger peer = ledger_ids(cluster.node(0));
+  const IdLedger synced = ledger_ids(cluster.node(1));
+  for (std::size_t i = 0; i < std::min(peer.size(), synced.size()); ++i) {
+    EXPECT_EQ(synced[i], peer[i]) << "slot " << i;
+  }
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+TEST(StateSync, RefusalIsStructuredWhenSyncDisabled) {
+  // Satellite: with state sync off, an unusable disk must surface as a
+  // structured NodeRecoveryInfo error — the harness must not abort.
+  harness::LyraClusterOptions opts = sync_options(5);
+  opts.state_sync = false;
+  harness::LyraCluster cluster(std::move(opts));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 4);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 4;
+  }));
+
+  cluster.crash_node(2);
+  cluster.run_for(ms(10));
+  cluster.wipe_disk(2);
+  EXPECT_FALSE(cluster.restart_node(2));
+  EXPECT_FALSE(cluster.node_alive(2));
+  EXPECT_EQ(cluster.recovery_info(2).outcome,
+            harness::RestartOutcome::kRefusedEmptyDisk);
+  EXPECT_FALSE(cluster.recovery_info(2).error.empty());
+
+  cluster.crash_node(3);
+  cluster.run_for(ms(10));
+  cluster.corrupt_wal(3);
+  EXPECT_FALSE(cluster.restart_node(3));
+  EXPECT_FALSE(cluster.node_alive(3));
+  EXPECT_EQ(cluster.recovery_info(3).outcome,
+            harness::RestartOutcome::kRefusedWalCorrupt);
+  EXPECT_FALSE(cluster.recovery_info(3).error.empty());
+  EXPECT_STREQ(harness::to_string(cluster.recovery_info(3).outcome),
+               "refused-wal-corrupt");
+}
+
+TEST(StateSync, RevealCatchupAfterPeersGarbageCollectVss) {
+  // A locally-recovered node has committed entries whose payload bytes
+  // were never journaled: reveal holes. By the time it restarts, peers
+  // have long finished — and GC'd — the VSS instances, so the normal
+  // share-driven reveal path is gone. Catch-up must close the holes with
+  // byte-identical payloads under an f+1 digest quorum.
+  harness::LyraClusterOptions opts = sync_options(7);
+  // Aggressive GC so the outage below is guaranteed to outlive every
+  // decided instance (heartbeat traffic keeps some instances live, so we
+  // cannot simply wait for live_instances() == 0).
+  opts.config.instance_gc_idle = ms(100);
+  harness::LyraCluster cluster(std::move(opts));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 4);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 4 && fully_revealed(cluster.node(2));
+  }));
+
+  cluster.crash_node(2);
+  // Long outage: peers' BOC/VSS instances for the committed batches are
+  // garbage-collected, so shares will never be re-broadcast.
+  cluster.run_for(ms(1000));
+
+  ASSERT_TRUE(cluster.restart_node(2));
+  EXPECT_EQ(cluster.recovery_info(2).outcome,
+            harness::RestartOutcome::kLocalRecovery);
+
+  // Recovery restores the ledger but not the payload bytes; catch-up
+  // re-reveals every entry.
+  ASSERT_TRUE(run_until(cluster, ms(3500), [&] {
+    return payloads_complete(cluster.node(2));
+  }));
+  // With every instance GC'd there is no share path left: each reveal
+  // below must have come through digest-voted catch-up.
+  EXPECT_GE(cluster.node(2).statesync()->stats().catchup_reveals, 4u);
+  ASSERT_GE(cluster.node(2).ledger().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(2).ledger()[i].payload,
+              cluster.node(0).ledger()[i].payload)
+        << "slot " << i;
+  }
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+}
+
+TEST(StateSync, ByzantineChunkServerCannotPoisonTransfer) {
+  // One manifest-quorum member serves garbage chunk bytes (and corrupted
+  // reveal payloads). Digest verification must reject them, demote the
+  // peer, and complete the transfer through honest servers — unverified
+  // data is never installed.
+  harness::LyraCluster cluster(sync_options(9, /*n=*/5, /*f=*/1));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 5);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 5 && fully_revealed(cluster.node(0));
+  }));
+
+  cluster.node(1).statesync()->set_byzantine_serving(
+      statesync::ByzantineSyncMode::kGarbageChunks);
+
+  cluster.crash_node(2);
+  cluster.run_for(ms(20));
+  cluster.wipe_disk(2);
+  ASSERT_TRUE(cluster.restart_node(2));
+
+  ASSERT_TRUE(run_until(cluster, ms(2000), [&] {
+    return cluster.node(2).ledger().size() >= 5 &&
+           fully_revealed(cluster.node(2));
+  }));
+
+  const IdLedger honest = ledger_ids(cluster.node(0));
+  const IdLedger synced = ledger_ids(cluster.node(2));
+  for (std::size_t i = 0; i < std::min(honest.size(), synced.size()); ++i) {
+    EXPECT_EQ(synced[i], honest[i]) << "slot " << i;
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(cluster.node(2).ledger()[i].payload,
+              cluster.node(0).ledger()[i].payload)
+        << "slot " << i;
+  }
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+TEST(StateSync, WrongManifestMinorityIsOutvoted) {
+  // A peer lying self-consistently (tampered blob, matching digests) forms
+  // a manifest group of one — below f+1 — so its manifest is never
+  // adopted and the transfer proceeds from the honest quorum.
+  harness::LyraCluster cluster(sync_options(11, /*n=*/5, /*f=*/1));
+  cluster.start();
+  cluster.run_for(ms(50));
+  submit_one_per_node(cluster, 5);
+  ASSERT_TRUE(run_until(cluster, ms(500), [&] {
+    return cluster.min_ledger_length() >= 5;
+  }));
+
+  cluster.node(3).statesync()->set_byzantine_serving(
+      statesync::ByzantineSyncMode::kWrongManifest);
+
+  cluster.crash_node(0);
+  cluster.run_for(ms(20));
+  cluster.wipe_disk(0);
+  ASSERT_TRUE(cluster.restart_node(0));
+
+  ASSERT_TRUE(run_until(cluster, ms(2000), [&] {
+    return cluster.node(0).ledger().size() >= 5;
+  }));
+  const IdLedger honest = ledger_ids(cluster.node(1));
+  const IdLedger synced = ledger_ids(cluster.node(0));
+  for (std::size_t i = 0; i < std::min(honest.size(), synced.size()); ++i) {
+    EXPECT_EQ(synced[i], honest[i]) << "slot " << i;
+  }
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+TEST(StateSync, RestartedProposerReplaysCommitNotifications) {
+  // Closed-loop clients block until their transactions are
+  // commit-notified. If the proposer crashes between proposing and
+  // notifying, the recovered node must replay the notification from its
+  // journaled own-batch record or the pool stalls forever.
+  harness::LyraClusterOptions opts = sync_options(13);
+  opts.topology = net::single_region(5);  // nodes 0..3 plus one pool slot
+  harness::LyraCluster cluster(std::move(opts));
+  auto& pool =
+      cluster.add_client_pool(/*target=*/2, /*width=*/4, /*start_at=*/ms(60),
+                              /*measure_from=*/ms(0), /*measure_to=*/ms(60000));
+  cluster.start();
+  cluster.run_for(ms(50));
+
+  // Let the pool issue transactions and the node commit a few batches.
+  ASSERT_TRUE(run_until(cluster, ms(2000), [&] {
+    return pool.committed_in_window() >= 8;
+  }));
+  const std::uint64_t before = pool.committed_in_window();
+
+  // The wave the pool resubmitted on that last ack is still in flight;
+  // crashing now would lose it before it is journaled and the closed loop
+  // would stall with nothing to replay. Aim for the window this test is
+  // about: once the node journals its next proposal (which carries the
+  // wave — the pool is the only transaction source), kill it before the
+  // reveal can notify.
+  const std::uint64_t proposals = cluster.node(2).stats().proposals;
+  ASSERT_TRUE(run_until(cluster, ms(2000), [&] {
+    return cluster.node(2).stats().proposals > proposals;
+  }));
+  ASSERT_EQ(pool.committed_in_window(), before);  // journaled, not notified
+
+  cluster.crash_node(2);
+  cluster.run_for(ms(30));
+  ASSERT_TRUE(cluster.restart_node(2));
+
+  // The pool's in-flight transactions at crash time are lost with the
+  // node's memory (documented), but each client re-submits once its ack
+  // arrives or is replayed — progress must resume past the pre-crash
+  // count rather than stalling.
+  EXPECT_TRUE(run_until(cluster, ms(12000), [&] {
+    return pool.committed_in_window() > before + 4;
+  }));
+  EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+  EXPECT_EQ(cluster.total_late_accepts(), 0u);
+}
+
+}  // namespace
+}  // namespace lyra

@@ -41,6 +41,13 @@ void usage() {
       "  --crash-node=N            crash node N mid-run (Lyra; repeatable)\n"
       "  --crash-at=T              crash time for the last --crash-node\n"
       "  --restart-at=T            restart time (recovers from WAL+snapshot)\n"
+      "  --wipe-disk-at=T          wipe the last --crash-node's disk at T\n"
+      "                            (crash-at < T < restart-at; rejoins via\n"
+      "                            peer state transfer)\n"
+      "  --corrupt-wal             bit-rot the last --crash-node's WAL while\n"
+      "                            it is down (rejoins via state transfer)\n"
+      "  --state-sync              enable the statesync subsystem on every\n"
+      "                            node (implied by the two flags above)\n"
       "  --help                    this text\n"
       "durations (T) accept '3s', '250ms', or plain milliseconds\n");
 }
@@ -148,6 +155,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
         return 2;
       }
+    } else if (parse_value(argc, argv, i, "--wipe-disk-at", value)) {
+      if (config.crash_restarts.empty()) {
+        std::fprintf(stderr, "--wipe-disk-at needs a preceding --crash-node\n");
+        return 2;
+      }
+      if (!parse_duration(value, config.crash_restarts.back().wipe_disk_at)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--corrupt-wal") == 0) {
+      if (config.crash_restarts.empty()) {
+        std::fprintf(stderr, "--corrupt-wal needs a preceding --crash-node\n");
+        return 2;
+      }
+      config.crash_restarts.back().corrupt_wal = true;
+    } else if (std::strcmp(argv[i], "--state-sync") == 0) {
+      config.state_sync = true;
     } else if (std::strcmp(argv[i], "--no-obfuscation") == 0) {
       config.obfuscate = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -181,6 +205,13 @@ int main(int argc, char** argv) {
         cr.restart_at >= config.duration) {
       std::fprintf(stderr,
                    "need 0 < crash-at < restart-at < duration for node %u\n",
+                   cr.node);
+      return 2;
+    }
+    if (cr.wipe_disk_at != 0 &&
+        (cr.wipe_disk_at <= cr.crash_at || cr.wipe_disk_at >= cr.restart_at)) {
+      std::fprintf(stderr,
+                   "need crash-at < wipe-disk-at < restart-at for node %u\n",
                    cr.node);
       return 2;
     }
@@ -220,6 +251,25 @@ int main(int argc, char** argv) {
       std::printf("recovery cpu      %10.2f ms\n", result.recovery_cpu_ms);
       std::printf("msgs dropped      %10llu\n",
                   static_cast<unsigned long long>(result.messages_dropped));
+      std::printf("torn tails fixed  %10llu\n",
+                  static_cast<unsigned long long>(result.torn_tail_repairs));
+      std::printf("restarts refused  %10llu\n",
+                  static_cast<unsigned long long>(result.refused_restarts));
+    }
+    if (config.wants_state_sync()) {
+      std::printf("full state syncs  %10llu\n",
+                  static_cast<unsigned long long>(result.full_state_syncs));
+      std::printf("sync chunks       %10llu (%llu rejected)\n",
+                  static_cast<unsigned long long>(result.sync_chunks_fetched),
+                  static_cast<unsigned long long>(result.sync_chunks_rejected));
+      std::printf("sync bytes        %10llu\n",
+                  static_cast<unsigned long long>(result.sync_bytes_transferred));
+      std::printf("sync entries      %10llu\n",
+                  static_cast<unsigned long long>(result.sync_entries_installed));
+      std::printf("catch-up reveals  %10llu\n",
+                  static_cast<unsigned long long>(result.catchup_reveals));
+      std::printf("unrevealed left   %10llu\n",
+                  static_cast<unsigned long long>(result.unrevealed_batches));
     }
   } else {
     std::printf("ts verifications  %10llu\n",
