@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -9,12 +10,16 @@
 
 namespace lyra::bench {
 
+inline bool quick_mode() {
+  const char* quick = std::getenv("LYRA_BENCH_QUICK");
+  return quick != nullptr && quick[0] == '1';
+}
+
 /// Node counts of the paper's evaluation (§VI-C).
 inline std::vector<std::size_t> node_counts() {
   // LYRA_BENCH_QUICK=1 caps the sweep at 31 nodes (CI-friendly); the full
   // sweep reproduces the figures up to n = 100.
-  if (const char* quick = std::getenv("LYRA_BENCH_QUICK");
-      quick != nullptr && quick[0] == '1') {
+  if (quick_mode()) {
     return {5, 10, 16, 31};
   }
   return {5, 10, 16, 31, 61, 100};
@@ -30,6 +35,79 @@ inline void write_csv(const std::string& path, const std::string& content) {
     std::fwrite(content.data(), 1, content.size(), f);
     std::fclose(f);
     std::printf("[csv written to %s]\n", path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output (tools/bench_compare.py consumes this)
+// ---------------------------------------------------------------------------
+
+/// One benchmark measurement: a named scenario plus the engine-side and
+/// protocol-side numbers of a run.
+struct BenchEntry {
+  std::string name;    // scenario, e.g. "lyra_n100"
+  std::string params;  // human-readable knobs, e.g. "n=100 clients=2600"
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;      // events executed by the engine
+  double events_per_sec = 0.0;   // events / host wall-clock seconds
+  double host_seconds = 0.0;     // wall-clock time of the event loop
+  double sim_seconds = 0.0;      // simulated time covered
+  double throughput_tps = 0.0;   // committed tx/s (sanity anchor)
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Serializes one labelled run. The file holds a top-level "runs" array so
+/// bench_compare.py --merge can accumulate a before/after trajectory in a
+/// single checked-in file (BENCH_sim.json at the repo root).
+inline void write_bench_json(const std::string& path,
+                             const std::string& benchmark,
+                             const std::string& label,
+                             const std::vector<BenchEntry>& entries) {
+  std::string j = "{\n  \"benchmark\": \"" + json_escape(benchmark) +
+                  "\",\n  \"runs\": [\n    {\n      \"label\": \"" +
+                  json_escape(label) + "\",\n      \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    j += "        {\"name\": \"" + json_escape(e.name) + "\", \"params\": \"" +
+         json_escape(e.params) +
+         "\", \"seed\": " + std::to_string(e.seed) +
+         ", \"events\": " + std::to_string(e.events) +
+         ", \"events_per_sec\": " + json_num(e.events_per_sec) +
+         ", \"host_seconds\": " + json_num(e.host_seconds) +
+         ", \"sim_seconds\": " + json_num(e.sim_seconds) +
+         ", \"throughput_tps\": " + json_num(e.throughput_tps) + "}";
+    j += (i + 1 < entries.size()) ? ",\n" : "\n";
+  }
+  j += "      ]\n    }\n  ]\n}\n";
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(j.data(), 1, j.size(), f);
+    std::fclose(f);
+    std::printf("[json written to %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[failed to open %s for writing]\n", path.c_str());
   }
 }
 

@@ -1,10 +1,12 @@
 #include "attacks/byzantine_lyra.hpp"
 
+#include "sim/payload_pool.hpp"
+
 namespace lyra::attacks {
 
 void SelectiveInitLyraNode::propose_selectively(BytesView payload) {
   const InstanceId inst{id(), next_proposal_index_++};
-  auto msg = std::make_shared<core::InitMsg>();
+  auto msg = sim::make_payload<core::InitMsg>();
   msg->inst = inst;
   const SeqNum s_ref = clock_now();
   msg->predictions = build_predictions(s_ref);
@@ -23,7 +25,7 @@ void SelectiveInitLyraNode::propose_selectively(BytesView payload) {
 
 std::shared_ptr<core::InitMsg> EquivocatingLyraNode::make_init(
     const InstanceId& inst, BytesView payload) {
-  auto msg = std::make_shared<core::InitMsg>();
+  auto msg = sim::make_payload<core::InitMsg>();
   msg->inst = inst;
   const SeqNum s_ref = clock_now();
   msg->predictions = build_predictions(s_ref);

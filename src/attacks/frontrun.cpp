@@ -1,6 +1,7 @@
 #include "attacks/frontrun.hpp"
 
 #include <map>
+#include "sim/payload_pool.hpp"
 #include <string>
 
 namespace lyra::attacks {
@@ -73,7 +74,7 @@ void AliceClient::on_start() {
 
 void AliceClient::submit_next() {
   if (next_index_ >= count_) return;
-  auto msg = std::make_shared<core::SubmitMsg>();
+  auto msg = sim::make_payload<core::SubmitMsg>();
   msg->count = 1;
   msg->submitted_at = now();
   msg->txs.push_back(

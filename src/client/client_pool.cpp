@@ -1,5 +1,7 @@
 #include "client/client_pool.hpp"
 
+#include "sim/payload_pool.hpp"
+
 namespace lyra::client {
 
 using core::CommitNotifyMsg;
@@ -22,15 +24,55 @@ void ClientPool::on_start() {
 
 void ClientPool::submit(std::uint32_t count) {
   if (count == 0) return;
-  auto msg = std::make_shared<SubmitMsg>();
+  auto msg = sim::make_payload<SubmitMsg>();
   msg->count = count;
   msg->submitted_at = now();
+  if (resubmit_timeout_ > 0) {
+    auto& wave = outstanding_[now()];
+    wave.count += count;
+    wave.last_attempt = now();
+    arm_resubmit_timer();
+  }
   send(target_, std::move(msg));
+}
+
+void ClientPool::arm_resubmit_timer() {
+  if (resubmit_timer_armed_ || resubmit_timeout_ <= 0) return;
+  resubmit_timer_armed_ = true;
+  set_timer(resubmit_timeout_, [this] { check_resubmit(); });
+}
+
+void ClientPool::check_resubmit() {
+  resubmit_timer_armed_ = false;
+  if (outstanding_.empty()) return;
+  for (auto& [submitted_at, wave] : outstanding_) {
+    if (now() - wave.last_attempt < resubmit_timeout_) continue;
+    auto msg = sim::make_payload<SubmitMsg>();
+    msg->count = wave.count;
+    // Latency stays measured from the first attempt: the retry carries the
+    // original submission time.
+    msg->submitted_at = submitted_at;
+    send(target_, std::move(msg));
+    wave.last_attempt = now();
+    ++resubmissions_;
+  }
+  arm_resubmit_timer();
 }
 
 void ClientPool::on_message(const sim::Envelope& env) {
   const auto* notify = sim::payload_as<CommitNotifyMsg>(env);
   if (notify == nullptr) return;
+
+  if (resubmit_timeout_ > 0) {
+    auto it = outstanding_.find(notify->submitted_at);
+    if (it != outstanding_.end()) {
+      if (it->second.count <= notify->count) {
+        outstanding_.erase(it);
+      } else {
+        it->second.count -= notify->count;
+      }
+    }
+  }
 
   committed_total_ += notify->count;
   const double latency = to_ms(now() - notify->submitted_at);

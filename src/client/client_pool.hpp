@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+
 #include "lyra/messages.hpp"
 #include "sim/process.hpp"
 #include "support/stats.hpp"
@@ -27,6 +29,19 @@ class ClientPool final : public sim::Process {
 
   void on_start() override;
 
+  /// Enables at-least-once resubmission: a submission wave that has not
+  /// been acknowledged by a CommitNotify within `timeout` is sent again
+  /// (and again every `timeout` until acknowledged). Resubmissions reuse
+  /// the original submission time, so latency is measured from the first
+  /// attempt. 0 (the default) disables the timer entirely — the pool is a
+  /// pure closed loop and a lost submission stalls its clients, which is
+  /// the behaviour all existing runs were recorded with. Call before
+  /// start().
+  void set_resubmit_timeout(TimeNs timeout) { resubmit_timeout_ = timeout; }
+
+  /// Number of resubmission sends performed (0 unless the timeout is set).
+  std::uint64_t resubmissions() const { return resubmissions_; }
+
   /// Per-chunk commit latency in milliseconds (each sample is one
   /// submission wave of the pool).
   const Samples& latency_ms() const { return latency_ms_; }
@@ -43,12 +58,25 @@ class ClientPool final : public sim::Process {
 
  private:
   void submit(std::uint32_t count);
+  void arm_resubmit_timer();
+  void check_resubmit();
 
   NodeId target_;
   std::uint32_t width_;
   TimeNs start_at_;
   TimeNs measure_from_;
   TimeNs measure_to_;
+
+  // Unacknowledged submission waves, keyed by original submission time
+  // (ordered so resubmission scans oldest-first, deterministically).
+  struct Outstanding {
+    std::uint32_t count = 0;
+    TimeNs last_attempt = 0;
+  };
+  std::map<TimeNs, Outstanding> outstanding_;
+  TimeNs resubmit_timeout_ = 0;
+  bool resubmit_timer_armed_ = false;
+  std::uint64_t resubmissions_ = 0;
 
   Samples latency_ms_;
   double weighted_latency_sum_ms_ = 0.0;

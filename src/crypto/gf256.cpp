@@ -6,13 +6,13 @@ namespace lyra::crypto {
 
 namespace {
 
-struct Tables {
+struct LogTables {
   std::array<std::uint8_t, 256> log{};
   std::array<std::uint8_t, 256> exp{};
 };
 
-constexpr Tables build_tables() {
-  Tables t{};
+constexpr LogTables build_log_tables() {
+  LogTables t{};
   // 0x03 generates the multiplicative group of GF(2^8)/0x11b.
   std::uint8_t x = 1;
   for (int i = 0; i < 255; ++i) {
@@ -24,19 +24,54 @@ constexpr Tables build_tables() {
   return t;
 }
 
-constexpr Tables kTables = build_tables();
+constexpr LogTables kLog = build_log_tables();
+
+// Full 64 KiB product table: kMul[a][b] == a*b. Row a is the
+// multiply-by-a map used by the batched helpers.
+struct MulTable {
+  std::array<std::array<std::uint8_t, 256>, 256> row{};
+};
+
+constexpr MulTable build_mul_table() {
+  // Built from the log/exp tables rather than mul_slow so the whole 64 KiB
+  // fits well inside the compilers' constexpr evaluation budgets. The
+  // gf256 tests cross-check every entry against mul_slow at runtime.
+  MulTable t{};
+  for (std::size_t a = 1; a < 256; ++a) {
+    for (std::size_t b = 1; b < 256; ++b) {
+      const int sum = kLog.log[a] + kLog.log[b];
+      t.row[a][b] = kLog.exp[static_cast<std::size_t>(sum % 255)];
+    }
+  }
+  return t;
+}
+
+constexpr MulTable kMul = build_mul_table();
 
 }  // namespace
 
 std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) {
-  if (a == 0 || b == 0) return 0;
-  const int sum = kTables.log[a] + kTables.log[b];
-  return kTables.exp[static_cast<std::size_t>(sum % 255)];
+  return kMul.row[a][b];
+}
+
+const std::uint8_t* Gf256::row(std::uint8_t a) { return kMul.row[a].data(); }
+
+void Gf256::mul_xor(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint8_t scalar, std::size_t n) {
+  const std::uint8_t* r = kMul.row[scalar].data();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i + 0] ^= r[src[i + 0]];
+    dst[i + 1] ^= r[src[i + 1]];
+    dst[i + 2] ^= r[src[i + 2]];
+    dst[i + 3] ^= r[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= r[src[i]];
 }
 
 std::uint8_t Gf256::inv(std::uint8_t a) {
   LYRA_ASSERT(a != 0, "zero has no inverse in GF(256)");
-  return kTables.exp[static_cast<std::size_t>((255 - kTables.log[a]) % 255)];
+  return kLog.exp[static_cast<std::size_t>((255 - kLog.log[a]) % 255)];
 }
 
 std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) {

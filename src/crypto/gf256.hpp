@@ -1,14 +1,18 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace lyra::crypto {
 
 /// Arithmetic in GF(2^8) with the AES reduction polynomial
 /// x^8 + x^4 + x^3 + x + 1 (0x11b). Used by the Shamir secret-sharing
-/// substrate of the VSS scheme. Multiplication and inversion go through
-/// log/antilog tables built at compile time from the generator 0x03.
+/// substrate of the VSS scheme. Multiplication reads a full 256x256
+/// product table built at compile time (one load, no branches, no mod);
+/// inversion keeps the compile-time log/antilog tables. Batched helpers
+/// (row(), mul_xor()) let share evaluation and Lagrange interpolation
+/// stream a single 256-byte table row through whole buffers.
 class Gf256 {
  public:
   static constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
@@ -26,6 +30,16 @@ class Gf256 {
 
   /// a / b; b must be non-zero.
   static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+  /// The 256-entry product row of `a`: row(a)[b] == mul(a, b). Hoist it
+  /// out of a loop to multiply a whole buffer by a constant with one
+  /// table lookup per byte.
+  static const std::uint8_t* row(std::uint8_t a);
+
+  /// dst[i] ^= scalar * src[i] for i in [0, n) — the GF(256) "axpy" that
+  /// Lagrange interpolation and share recombination reduce to.
+  static void mul_xor(std::uint8_t* dst, const std::uint8_t* src,
+                      std::uint8_t scalar, std::size_t n);
 
   /// Slow bitwise ("Russian peasant") multiplication, used to cross-check
   /// the tables in tests.

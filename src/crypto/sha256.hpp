@@ -11,7 +11,10 @@ namespace lyra::crypto {
 using Digest = std::array<std::uint8_t, 32>;
 
 /// Incremental SHA-256 (FIPS 180-4). From-scratch implementation, verified
-/// against the NIST test vectors in tests/crypto/sha256_test.cpp.
+/// against the NIST test vectors in tests/crypto/sha256_test.cpp. The
+/// block compression dispatches at runtime to the fastest kernel the host
+/// CPU supports (x86 SHA extensions when present, unrolled portable code
+/// otherwise) — see crypto/sha256_kernels.hpp.
 class Sha256 {
  public:
   Sha256();
@@ -28,9 +31,11 @@ class Sha256 {
   /// One-shot convenience.
   static Digest hash(BytesView data);
 
- private:
-  void process_block(const std::uint8_t* block);
+  /// Name of the compression kernel selected at runtime ("sha-ni" or
+  /// "scalar").
+  static const char* backend_name();
 
+ private:
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;

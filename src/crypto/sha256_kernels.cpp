@@ -1,0 +1,262 @@
+#include "crypto/sha256_kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(LYRA_SHA256_HAVE_SHANI)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace lyra::crypto::detail {
+
+namespace {
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+// One round with explicit register naming; callers rotate the argument
+// order instead of shuffling eight variables through a..h each round.
+#define LYRA_SHA_ROUND(a, b, c, d, e, f, g, h, i)                       \
+  do {                                                                  \
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);    \
+    const std::uint32_t ch = (e & f) ^ (~e & g);                        \
+    const std::uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];          \
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);    \
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);              \
+    d += t1;                                                            \
+    h = t1 + s0 + maj;                                                  \
+  } while (0)
+
+}  // namespace
+
+void compress_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                     std::size_t nblocks) {
+  std::uint32_t w[64];
+  for (; nblocks > 0; --nblocks, blocks += 64) {
+    for (int i = 0; i < 16; i += 4) {
+      w[i + 0] = load_be32(blocks + 4 * i);
+      w[i + 1] = load_be32(blocks + 4 * i + 4);
+      w[i + 2] = load_be32(blocks + 4 * i + 8);
+      w[i + 3] = load_be32(blocks + 4 * i + 12);
+    }
+    // Message schedule, four lanes per iteration.
+    for (int i = 16; i < 64; i += 4) {
+      for (int j = i; j < i + 4; ++j) {
+        const std::uint32_t s0 =
+            rotr(w[j - 15], 7) ^ rotr(w[j - 15], 18) ^ (w[j - 15] >> 3);
+        const std::uint32_t s1 =
+            rotr(w[j - 2], 17) ^ rotr(w[j - 2], 19) ^ (w[j - 2] >> 10);
+        w[j] = w[j - 16] + s0 + w[j - 7] + s1;
+      }
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; i += 8) {
+      LYRA_SHA_ROUND(a, b, c, d, e, f, g, h, i + 0);
+      LYRA_SHA_ROUND(h, a, b, c, d, e, f, g, i + 1);
+      LYRA_SHA_ROUND(g, h, a, b, c, d, e, f, i + 2);
+      LYRA_SHA_ROUND(f, g, h, a, b, c, d, e, i + 3);
+      LYRA_SHA_ROUND(e, f, g, h, a, b, c, d, i + 4);
+      LYRA_SHA_ROUND(d, e, f, g, h, a, b, c, i + 5);
+      LYRA_SHA_ROUND(c, d, e, f, g, h, a, b, i + 6);
+      LYRA_SHA_ROUND(b, c, d, e, f, g, h, a, i + 7);
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#undef LYRA_SHA_ROUND
+
+#if defined(LYRA_SHA256_HAVE_SHANI)
+
+bool cpu_supports_sha_ni() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool sha = (ebx & (1u << 29)) != 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool ssse3 = (ecx & (1u << 9)) != 0;
+  const bool sse41 = (ecx & (1u << 19)) != 0;
+  return sha && ssse3 && sse41;
+}
+
+// SHA-NI two-rounds-per-instruction kernel, the standard Intel schedule:
+// four 16-byte message words cycle through sha256msg1/msg2 while
+// sha256rnds2 advances the state two rounds at a time.
+__attribute__((target("sha,ssse3,sse4.1"))) void compress_shani(
+    std::uint32_t* state, const std::uint8_t* blocks, std::size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  const auto kvec = [](int i) {
+    return _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(&kSha256K[i]));
+  };
+
+  // state memory order is a..h; the kernel wants ABEF / CDGH lanes.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  for (; nblocks > 0; --nblocks, blocks += 64) {
+    const __m128i save0 = state0;
+    const __m128i save1 = state1;
+    __m128i msg, msgtmp;
+
+    // Rounds 0-3.
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)), kShuffle);
+    msg = _mm_add_epi32(msg0, kvec(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)),
+        kShuffle);
+    msg = _mm_add_epi32(msg1, kvec(4));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)),
+        kShuffle);
+    msg = _mm_add_epi32(msg2, kvec(8));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)),
+        kShuffle);
+    msg = _mm_add_epi32(msg3, kvec(12));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-51: three full rotations of the four message registers.
+#define LYRA_SHANI_QUAD(m0, m1, m2, m3, k)                \
+    msg = _mm_add_epi32(m0, kvec(k));                     \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);  \
+    msgtmp = _mm_alignr_epi8(m0, m3, 4);                  \
+    m1 = _mm_add_epi32(m1, msgtmp);                       \
+    m1 = _mm_sha256msg2_epu32(m1, m0);                    \
+    msg = _mm_shuffle_epi32(msg, 0x0E);                   \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);  \
+    m3 = _mm_sha256msg1_epu32(m3, m0)
+
+    LYRA_SHANI_QUAD(msg0, msg1, msg2, msg3, 16);
+    LYRA_SHANI_QUAD(msg1, msg2, msg3, msg0, 20);
+    LYRA_SHANI_QUAD(msg2, msg3, msg0, msg1, 24);
+    LYRA_SHANI_QUAD(msg3, msg0, msg1, msg2, 28);
+    LYRA_SHANI_QUAD(msg0, msg1, msg2, msg3, 32);
+    LYRA_SHANI_QUAD(msg1, msg2, msg3, msg0, 36);
+    LYRA_SHANI_QUAD(msg2, msg3, msg0, msg1, 40);
+    LYRA_SHANI_QUAD(msg3, msg0, msg1, msg2, 44);
+    LYRA_SHANI_QUAD(msg0, msg1, msg2, msg3, 48);
+#undef LYRA_SHANI_QUAD
+
+    // Rounds 52-55 (schedule for w[56..63] still pending, no more msg1).
+    msg = _mm_add_epi32(msg1, kvec(52));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(msg2, kvec(56));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(msg3, kvec(60));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, save0);
+    state1 = _mm_add_epi32(state1, save1);
+  }
+
+  // ABEF / CDGH back to a..h memory order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#endif  // LYRA_SHA256_HAVE_SHANI
+
+namespace {
+
+struct Backend {
+  CompressFn fn;
+  const char* name;
+};
+
+Backend resolve_backend() {
+  const char* force = std::getenv("LYRA_SHA256_BACKEND");
+  if (force != nullptr && std::strcmp(force, "scalar") == 0) {
+    return {&compress_scalar, "scalar"};
+  }
+#if defined(LYRA_SHA256_HAVE_SHANI)
+  if (cpu_supports_sha_ni()) return {&compress_shani, "sha-ni"};
+#endif
+  return {&compress_scalar, "scalar"};
+}
+
+const Backend& backend() {
+  static const Backend b = resolve_backend();
+  return b;
+}
+
+}  // namespace
+
+void sha256_compress(std::uint32_t* state, const std::uint8_t* blocks,
+                     std::size_t nblocks) {
+  backend().fn(state, blocks, nblocks);
+}
+
+const char* sha256_backend_name() { return backend().name; }
+
+}  // namespace lyra::crypto::detail

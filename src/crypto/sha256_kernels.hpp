@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// Internal SHA-256 compression kernels (not part of the public crypto
+// API). Sha256 feeds whole 64-byte blocks through sha256_compress(),
+// which resolves once at startup to the fastest kernel the CPU offers:
+//
+//   * compress_shani  — x86 SHA extensions (sha256rnds2/msg1/msg2),
+//                       ~an order of magnitude over portable code;
+//   * compress_scalar — portable fallback, message schedule and round
+//                       function unrolled four rounds per iteration with
+//                       full register rotation (no per-round shuffling).
+//
+// Both kernels are exported so tests can run them side by side against
+// the NIST vectors regardless of which one dispatch picks.
+namespace lyra::crypto::detail {
+
+inline constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+/// Compresses `nblocks` consecutive 64-byte blocks into `state` (eight
+/// little-endian words a..h, FIPS 180-4 order).
+using CompressFn = void (*)(std::uint32_t* state, const std::uint8_t* blocks,
+                            std::size_t nblocks);
+
+void compress_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                     std::size_t nblocks);
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LYRA_SHA256_HAVE_SHANI 1
+/// True when CPUID reports the SHA extensions (leaf 7 EBX bit 29) plus
+/// the SSSE3/SSE4.1 baseline the kernel needs.
+bool cpu_supports_sha_ni();
+void compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
+                    std::size_t nblocks);
+#endif
+
+/// Dispatched entry point used by Sha256. Set LYRA_SHA256_BACKEND=scalar
+/// in the environment (before first use) to pin the portable kernel.
+void sha256_compress(std::uint32_t* state, const std::uint8_t* blocks,
+                     std::size_t nblocks);
+
+/// Name of the kernel dispatch selected ("sha-ni" or "scalar").
+const char* sha256_backend_name();
+
+}  // namespace lyra::crypto::detail

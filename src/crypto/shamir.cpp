@@ -17,19 +17,30 @@ std::vector<ShamirShare> Shamir::split(BytesView secret, std::uint32_t n,
     shares[i].y.resize(secret.size());
   }
 
-  std::vector<std::uint8_t> coeffs(k);
-  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
-    coeffs[0] = secret[byte];
+  // Draw every random coefficient up front, byte-major — the exact RNG
+  // order the original per-byte loop used, so seeded runs reproduce
+  // identical shares.
+  const std::size_t len = secret.size();
+  std::vector<std::uint8_t> coeffs(len * k);
+  for (std::size_t byte = 0; byte < len; ++byte) {
+    coeffs[byte * k] = secret[byte];
     for (std::uint32_t d = 1; d < k; ++d) {
-      coeffs[d] = static_cast<std::uint8_t>(rng.next_u64());
+      coeffs[byte * k + d] = static_cast<std::uint8_t>(rng.next_u64());
     }
-    for (std::uint32_t i = 0; i < n; ++i) {
-      // Horner evaluation at x = i+1.
+  }
+
+  // Evaluate share-major: each share multiplies only by its own x, so one
+  // 256-byte product row serves the whole polynomial (Horner at x = i+1).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t* mul_x = Gf256::row(shares[i].x);
+    std::uint8_t* y = shares[i].y.data();
+    for (std::size_t byte = 0; byte < len; ++byte) {
+      const std::uint8_t* c = &coeffs[byte * k];
       std::uint8_t acc = 0;
       for (std::uint32_t d = k; d-- > 0;) {
-        acc = Gf256::add(Gf256::mul(acc, shares[i].x), coeffs[d]);
+        acc = static_cast<std::uint8_t>(mul_x[acc] ^ c[d]);
       }
-      shares[i].y[byte] = acc;
+      y[byte] = acc;
     }
   }
   return shares;
@@ -70,13 +81,9 @@ std::optional<Bytes> Shamir::combine(const std::vector<ShamirShare>& shares,
   }
 
   const std::size_t len = used.front()->y.size();
-  Bytes secret(len);
-  for (std::size_t byte = 0; byte < len; ++byte) {
-    std::uint8_t acc = 0;
-    for (std::uint32_t i = 0; i < k; ++i) {
-      acc = Gf256::add(acc, Gf256::mul(lagrange[i], used[i]->y[byte]));
-    }
-    secret[byte] = acc;
+  Bytes secret(len, 0);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Gf256::mul_xor(secret.data(), used[i]->y.data(), lagrange[i], len);
   }
   return secret;
 }

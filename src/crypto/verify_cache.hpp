@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "support/types.hpp"
+
+namespace lyra::crypto {
+
+/// Per-node memo of signature-verification verdicts, keyed by
+/// (signer, message digest, mac). A node that sees the same signed
+/// statement twice — a relayed DELIVER proof, a re-broadcast INIT, a
+/// duplicated timestamp proof — answers from the cache instead of
+/// recomputing the MAC, and (the part that matters in the simulation)
+/// skips the modeled CryptoCosts charge: only misses pay.
+///
+/// Correctness: the verdict is a pure function of the key. The mac is
+/// part of the key, so a forged signature over a cached message can never
+/// inherit the genuine verdict; at worst an attacker fills the cache with
+/// `false` entries for keys nobody will present again. Memoization
+/// therefore changes no protocol decision, only counters and simulated
+/// CPU charges — the determinism guard pins this.
+///
+/// The map is bounded: when `cap` entries are reached it resets
+/// wholesale. Crude, but deterministic and O(1), and a full reset only
+/// costs re-verification.
+class VerifyCache {
+ public:
+  explicit VerifyCache(std::size_t cap = 1 << 16) : cap_(cap) {}
+
+  std::optional<bool> lookup(NodeId signer, const Digest& msg,
+                             const Digest& mac) {
+    const auto it = map_.find(Key{signer, msg, mac});
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  void store(NodeId signer, const Digest& msg, const Digest& mac, bool ok) {
+    if (map_.size() >= cap_) map_.clear();
+    map_.emplace(Key{signer, msg, mac}, ok);
+  }
+
+  /// Folds a combined threshold signature into one digest usable as the
+  /// cache mac: proofs with identical content (same message, same share
+  /// set) collide onto one entry, anything else cannot.
+  static Digest fold_threshold(const ThresholdSig& proof) {
+    Sha256 h;
+    h.update(proof.message_digest.data(), proof.message_digest.size());
+    for (const SigShare& s : proof.shares) {
+      h.update(&s.signer, sizeof(s.signer));
+      h.update(s.mac.data(), s.mac.size());
+    }
+    return h.finalize();
+  }
+
+  /// Folds a small scalar (e.g. a Pompē timestamp) into a message digest
+  /// so (digest, scalar) pairs key distinct entries.
+  static Digest fold_scalar(const Digest& msg, std::uint64_t v) {
+    Digest d = msg;
+    std::uint64_t head;
+    std::memcpy(&head, d.data(), sizeof(head));
+    head ^= v * 0x9e3779b97f4a7c15ULL;  // spread low-entropy scalars
+    std::memcpy(d.data(), &head, sizeof(head));
+    return d;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Key {
+    NodeId signer;
+    Digest msg;
+    Digest mac;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // The mac is an HMAC output: already uniform, so eight bytes of it
+      // mixed with the message prefix make a full-strength hash.
+      std::uint64_t a, b;
+      std::memcpy(&a, k.mac.data(), sizeof(a));
+      std::memcpy(&b, k.msg.data(), sizeof(b));
+      return static_cast<std::size_t>(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                                      k.signer);
+    }
+  };
+
+  std::size_t cap_;
+  std::unordered_map<Key, bool, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace lyra::crypto

@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "attacks/byzantine_lyra.hpp"
@@ -98,9 +99,15 @@ RunResult run_lyra(const RunConfig& config) {
     }
   }
   cluster.start();
-  cluster.run_for(config.duration);
+  const auto host_start = std::chrono::steady_clock::now();
+  const std::uint64_t executed = cluster.run_for(config.duration);
+  const std::chrono::duration<double> host_elapsed =
+      std::chrono::steady_clock::now() - host_start;
 
   RunResult r = collect_client_stats(cluster, config);
+  r.events_executed = executed;
+  r.host_seconds = host_elapsed.count();
+  r.sim_seconds = to_ms(config.duration) / 1000.0;
   r.prefix_consistent = cluster.ledgers_prefix_consistent();
   r.late_accepts = cluster.total_late_accepts();
   r.restarts = cluster.restarts();
@@ -165,9 +172,15 @@ RunResult run_pompe(const RunConfig& config) {
                             config.measure_from, config.duration);
   }
   cluster.start();
-  cluster.run_for(config.duration);
+  const auto host_start = std::chrono::steady_clock::now();
+  const std::uint64_t executed = cluster.run_for(config.duration);
+  const std::chrono::duration<double> host_elapsed =
+      std::chrono::steady_clock::now() - host_start;
 
   RunResult r = collect_client_stats(cluster, config);
+  r.events_executed = executed;
+  r.host_seconds = host_elapsed.count();
+  r.sim_seconds = to_ms(config.duration) / 1000.0;
   r.prefix_consistent = cluster.ledgers_prefix_consistent();
   for (NodeId i = 0; i < config.n; ++i) {
     r.proof_verifications += cluster.node(i).stats().proof_verifications;

@@ -66,6 +66,12 @@ struct RunConfig {
 };
 
 struct RunResult {
+  // Engine-side metrics (perf harness): how much simulator work the run
+  // performed and what it cost in host time.
+  std::uint64_t events_executed = 0;
+  double host_seconds = 0.0;  // wall-clock time of the event loop
+  double sim_seconds = 0.0;   // simulated duration covered
+
   double mean_latency_ms = 0.0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;

@@ -96,8 +96,9 @@ class LyraCluster {
   /// Calls on_start on every process. Must run before the simulation.
   void start();
 
-  void run_for(TimeNs duration) {
-    sim_.run_until(sim_.now() + duration);
+  /// Returns the number of events executed (perf-harness metric).
+  std::uint64_t run_for(TimeNs duration) {
+    return sim_.run_until(sim_.now() + duration);
   }
 
   // --- crash / restart (requires durable_storage) ---

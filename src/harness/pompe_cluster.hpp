@@ -44,7 +44,10 @@ class PompeCluster {
   NodeId next_process_id() const { return next_id_; }
 
   void start();
-  void run_for(TimeNs duration) { sim_.run_until(sim_.now() + duration); }
+  /// Returns the number of events executed (perf-harness metric).
+  std::uint64_t run_for(TimeNs duration) {
+    return sim_.run_until(sim_.now() + duration);
+  }
 
   /// SMR-Safety across Pompē ledgers: prefix-related on
   /// (block_height, assigned_ts, digest).

@@ -66,6 +66,15 @@ struct Config {
   /// sees every payload.
   bool retain_payloads = true;
 
+  /// Memoize per-node signature-verification verdicts keyed by
+  /// (signer, message, mac). Repeated presentations of the same signed
+  /// statement (relayed DELIVER proofs, re-broadcast INITs) answer from
+  /// the cache and skip the modeled verification CryptoCosts — only
+  /// misses pay. Changes no protocol decision, only counters and
+  /// simulated CPU charges; off by default so existing runs replay
+  /// bit-identically.
+  bool memoize_verification = false;
+
   /// Simulated crypto CPU costs, divided by `cpu_parallelism`: the paper's
   /// testbed VMs have 16 vCPUs and crypto verification parallelizes.
   crypto::CryptoCosts costs;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/payload_pool.hpp"
+
 #include "support/assert.hpp"
 
 namespace lyra::core {
@@ -34,7 +36,7 @@ LyraNode::LyraNode(sim::Simulation* sim, net::Network* network, NodeId id,
 void LyraNode::on_start() {
   // Heartbeat keeps the Commit protocol moving on idle nodes.
   const auto heartbeat = [this](auto&& self) -> void {
-    auto msg = std::make_shared<HeartbeatMsg>();
+    auto msg = sim::make_payload<HeartbeatMsg>();
     broadcast_msg(msg);
     set_timer(config_.heartbeat_period,
               [this, self] { self(self); });
@@ -44,7 +46,7 @@ void LyraNode::on_start() {
 
   // Warm-up probes to learn the distance table D_i (§IV-B1).
   const auto probe = [this](auto&& self) -> void {
-    auto msg = std::make_shared<ProbeMsg>();
+    auto msg = sim::make_payload<ProbeMsg>();
     msg->s_ref = clock_.now();
     msg->pad_bytes = static_cast<std::uint64_t>(config_.batch_size) * 32;
     broadcast_msg(msg);
@@ -246,7 +248,7 @@ void LyraNode::propose_batch(PendingBatch batch) {
     stats_.phase_batch_wait_ms.add(to_ms(now() - earliest_submit));
   }
 
-  auto msg = std::make_shared<InitMsg>();
+  auto msg = sim::make_payload<InitMsg>();
   msg->inst = inst;
   msg->predictions = build_predictions(s_ref);
   msg->tx_count = batch.tx_count;
@@ -343,9 +345,7 @@ void LyraNode::handle_init(const sim::Envelope& env, const InitMsg& m) {
   // Verify the broadcaster's signature (Alg. 1 line 4) and the batch body.
   const crypto::Digest value_id =
       compute_value_id(m.inst, m.cipher.cipher_id(), m.predictions);
-  charge(ccost(config_.costs.verify) +
-         ccost(config_.costs.hash_cost(m.nominal_bytes)));
-  if (!registry_->verify(value_id_bytes(value_id), m.sig, m.inst.proposer)) {
+  if (!check_init_sig(value_id, m.sig, m.inst.proposer, m.nominal_bytes)) {
     return;
   }
   adopt_init(b, std::static_pointer_cast<const InitMsg>(env.payload));
@@ -394,11 +394,10 @@ void LyraNode::adopt_init(BocInstance& b,
 
   // A DELIVER proof may have arrived before the INIT.
   if (b.proof && !b.round_state(1, config_.n).vv_one) {
-    charge(ccost(config_.costs.threshold_verify));
-    if (registry_->threshold_verify(*b.proof, value_id_bytes(b.value_id))) {
+    if (check_threshold_proof(*b.proof, b.value_id)) {
       if (!b.deliver_broadcast) {
         b.deliver_broadcast = true;
-        auto out = std::make_shared<DeliverMsg>();
+        auto out = sim::make_payload<DeliverMsg>();
         out->inst = b.inst;
         out->proof = *b.proof;
         broadcast_msg(out);
@@ -415,7 +414,7 @@ void LyraNode::vote(BocInstance& b, bool value) {
     // share) at most once per instance.
     if (b.voted_one) return;
     b.voted_one = true;
-    auto msg = std::make_shared<VoteMsg>();
+    auto msg = sim::make_payload<VoteMsg>();
     msg->inst = b.inst;
     msg->value = true;
     charge(ccost(config_.costs.share_sign));
@@ -425,7 +424,7 @@ void LyraNode::vote(BocInstance& b, bool value) {
   } else {
     if (b.voted_zero) return;
     b.voted_zero = true;
-    auto msg = std::make_shared<VoteMsg>();
+    auto msg = sim::make_payload<VoteMsg>();
     msg->inst = b.inst;
     msg->value = false;
     // 0-votes also piggyback the perceived clock (SVI-B): a broadcaster
@@ -482,7 +481,7 @@ void LyraNode::try_deliver_one(BocInstance& b) {
 
   if (!b.deliver_broadcast) {
     b.deliver_broadcast = true;
-    auto msg = std::make_shared<DeliverMsg>();
+    auto msg = sim::make_payload<DeliverMsg>();
     msg->inst = b.inst;
     msg->proof = *proof;
     broadcast_msg(msg);
@@ -499,21 +498,20 @@ void LyraNode::handle_deliver(const sim::Envelope& env, const DeliverMsg& m) {
     // Keep the proof and pull the INIT we are missing.
     if (!b.proof) {
       b.proof = m.proof;
-      auto req = std::make_shared<ReqInitMsg>();
+      auto req = sim::make_payload<ReqInitMsg>();
       req->inst = m.inst;
       send_msg(env.from, req);
     }
     return;
   }
 
-  charge(ccost(config_.costs.threshold_verify));
-  if (!registry_->threshold_verify(m.proof, value_id_bytes(b.value_id))) {
+  if (!check_threshold_proof(m.proof, b.value_id)) {
     return;
   }
   if (!b.deliver_broadcast) {
     // Alg. 1 line 17: relay the proof so delivery is uniform.
     b.deliver_broadcast = true;
-    auto out = std::make_shared<DeliverMsg>();
+    auto out = sim::make_payload<DeliverMsg>();
     out->inst = m.inst;
     out->proof = m.proof;
     broadcast_msg(out);
@@ -537,7 +535,7 @@ void LyraNode::on_expire_timer(const InstanceId& inst) {
 void LyraNode::forward_init(BocInstance& b) {
   if (!b.init || b.init_forwarded) return;
   b.init_forwarded = true;
-  auto relay = std::make_shared<InitRelayMsg>();
+  auto relay = sim::make_payload<InitRelayMsg>();
   relay->inner = b.init;
   broadcast_msg(relay);
 }
@@ -546,7 +544,7 @@ void LyraNode::handle_req_init(const sim::Envelope& env) {
   const auto* m = sim::payload_as<ReqInitMsg>(env);
   const auto it = instances_.find(m->inst);
   if (it == instances_.end() || !it->second.init) return;
-  auto relay = std::make_shared<InitRelayMsg>();
+  auto relay = sim::make_payload<InitRelayMsg>();
   relay->inner = it->second.init;
   send_msg(env.from, relay);
 }
@@ -565,7 +563,7 @@ void LyraNode::handle_init_relay(const sim::Envelope& env) {
 
 void LyraNode::send_resync_request() {
   if (!resync_pending_) return;
-  auto msg = std::make_shared<ResyncReqMsg>();
+  auto msg = sim::make_payload<ResyncReqMsg>();
   if (!ledger_.empty()) {
     msg->cursor_seq = ledger_.back().seq;
     msg->cursor_id = ledger_.back().cipher_id;
@@ -577,7 +575,7 @@ void LyraNode::send_resync_request() {
 
 void LyraNode::handle_resync_req(const sim::Envelope& env,
                                  const ResyncReqMsg& m) {
-  auto reply = std::make_shared<ResyncReplyMsg>();
+  auto reply = sim::make_payload<ResyncReplyMsg>();
   reply->entries = commit_.accepted_after(m.cursor_seq, m.cursor_id);
   send_msg(env.from, reply);
 }
@@ -616,7 +614,7 @@ void LyraNode::enter_round(BocInstance& b, Round round) {
   if (round >= 2) {
     // vv-broadcast of the current estimate (BV-broadcast semantics: the
     // value m is fixed and proven unique by round 1).
-    auto msg = std::make_shared<EstMsg>();
+    auto msg = sim::make_payload<EstMsg>();
     msg->inst = inst;
     msg->round = round;
     msg->value = b.est;
@@ -649,7 +647,7 @@ void LyraNode::handle_est(const sim::Envelope& env, const EstMsg& m) {
   auto& sent = m.value ? rs.est_one_sent : rs.est_zero_sent;
   if (count >= config_.f + 1 && !sent) {
     sent = true;
-    auto echo = std::make_shared<EstMsg>();
+    auto echo = sim::make_payload<EstMsg>();
     echo->inst = m.inst;
     echo->round = m.round;
     echo->value = m.value;
@@ -710,7 +708,7 @@ void LyraNode::maybe_progress(BocInstance& b) {
   if (is_coordinator(b.round) && !rs.coord_sent &&
       (rs.vv_zero != rs.vv_one)) {
     rs.coord_sent = true;
-    auto msg = std::make_shared<CoordMsg>();
+    auto msg = sim::make_payload<CoordMsg>();
     msg->inst = b.inst;
     msg->round = b.round;
     msg->value = rs.vv_one;
@@ -721,7 +719,7 @@ void LyraNode::maybe_progress(BocInstance& b) {
   // values, preferring the coordinator's suggestion when we delivered it.
   if (!rs.aux_sent && rs.timer_expired && (rs.vv_zero || rs.vv_one)) {
     rs.aux_sent = true;
-    auto msg = std::make_shared<AuxMsg>();
+    auto msg = sim::make_payload<AuxMsg>();
     msg->inst = b.inst;
     msg->round = b.round;
     const bool coord_usable =
@@ -863,7 +861,7 @@ void LyraNode::merge_accepted(const AcceptedEntry& entry, NodeId from) {
       rec.have_cipher = true;
       rec.tx_count = it->second.init->tx_count;
     } else if (from != id()) {
-      auto req = std::make_shared<ReqInitMsg>();
+      auto req = sim::make_payload<ReqInitMsg>();
       req->inst = entry.inst;
       send_msg(from, req);
     }
@@ -882,7 +880,7 @@ void LyraNode::try_commit() {
   const std::vector<AcceptedEntry> wave = commit_.take_committable();
   if (wave.empty()) return;
 
-  auto shares_msg = std::make_shared<SharesMsg>();
+  auto shares_msg = sim::make_payload<SharesMsg>();
   for (const AcceptedEntry& entry : wave) {
     RevealRecord& rec = reveal_[entry.cipher_id];
     rec.committed = true;
@@ -951,7 +949,7 @@ void LyraNode::on_cipher_for_committed(const crypto::Digest& cipher_id) {
     const crypto::VssShare share = vss_.partial_decrypt(rec.cipher, signer_);
     rec.shares.push_back(share);
     rec.share_broadcast = true;
-    auto msg = std::make_shared<SharesMsg>();
+    auto msg = sim::make_payload<SharesMsg>();
     msg->shares.emplace_back(cipher_id, share);
     broadcast_msg(msg);
   }
@@ -1029,7 +1027,7 @@ void LyraNode::notify_clients(const InstanceId& inst, SeqNum seq) {
   const auto notify = [&](const std::vector<BatchAssembler::Chunk>& chunks) {
     for (const BatchAssembler::Chunk& chunk : chunks) {
       if (chunk.client == kNoNode || chunk.client == id()) continue;
-      auto msg = std::make_shared<CommitNotifyMsg>();
+      auto msg = sim::make_payload<CommitNotifyMsg>();
       msg->count = chunk.count;
       msg->submitted_at = chunk.submitted_at;
       msg->seq = seq;
@@ -1060,7 +1058,7 @@ void LyraNode::notify_clients(const InstanceId& inst, SeqNum seq) {
 // ---------------------------------------------------------------------------
 
 void LyraNode::handle_probe(const sim::Envelope& env, const ProbeMsg& m) {
-  auto reply = std::make_shared<ProbeReplyMsg>();
+  auto reply = sim::make_payload<ProbeReplyMsg>();
   reply->s_ref = m.s_ref;
   reply->perceived = clock_.now();
   send_msg(env.from, reply);
@@ -1104,6 +1102,47 @@ crypto::Digest LyraNode::compute_value_id(
 
 Bytes LyraNode::value_id_bytes(const crypto::Digest& value_id) const {
   return Bytes(value_id.begin(), value_id.end());
+}
+
+bool LyraNode::check_init_sig(const crypto::Digest& value_id,
+                              const crypto::Signature& sig, NodeId proposer,
+                              std::uint64_t nominal_bytes) {
+  if (config_.memoize_verification) {
+    if (const auto hit = verify_cache_.lookup(proposer, value_id, sig.mac)) {
+      ++stats_.verify_cache_hits;
+      return *hit;
+    }
+    ++stats_.verify_cache_misses;
+  }
+  charge(ccost(config_.costs.verify) +
+         ccost(config_.costs.hash_cost(nominal_bytes)));
+  const bool ok =
+      registry_->verify(value_id_bytes(value_id), sig, proposer);
+  if (config_.memoize_verification) {
+    verify_cache_.store(proposer, value_id, sig.mac, ok);
+  }
+  return ok;
+}
+
+bool LyraNode::check_threshold_proof(const crypto::ThresholdSig& proof,
+                                     const crypto::Digest& value_id) {
+  crypto::Digest proof_key{};
+  if (config_.memoize_verification) {
+    // kNoNode marks threshold entries; real signers are always < n.
+    proof_key = crypto::VerifyCache::fold_threshold(proof);
+    if (const auto hit = verify_cache_.lookup(kNoNode, value_id, proof_key)) {
+      ++stats_.verify_cache_hits;
+      return *hit;
+    }
+    ++stats_.verify_cache_misses;
+  }
+  charge(ccost(config_.costs.threshold_verify));
+  const bool ok =
+      registry_->threshold_verify(proof, value_id_bytes(value_id));
+  if (config_.memoize_verification) {
+    verify_cache_.store(kNoNode, value_id, proof_key, ok);
+  }
+  return ok;
 }
 
 // ---------------------------------------------------------------------------

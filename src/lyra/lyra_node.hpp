@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "crypto/keys.hpp"
+#include "crypto/verify_cache.hpp"
 #include "crypto/vss.hpp"
 #include "lyra/batching.hpp"
 #include "lyra/boc_instance.hpp"
@@ -56,6 +57,10 @@ struct NodeStats {
   std::uint64_t validations_ok = 0;
   std::uint64_t validations_rejected = 0;
   std::uint64_t instances_joined = 0;
+  // Verification memoization (config.memoize_verification): verdicts
+  // answered from cache vs. actually computed (and charged).
+  std::uint64_t verify_cache_hits = 0;
+  std::uint64_t verify_cache_misses = 0;
   Samples decide_rounds;  // DBFT rounds per decision (3-delay ablation)
   Samples prediction_error_ms;  // |seq_i(t) - S_t[i]| at validation
   // Per-phase latency of this node's own batches (milliseconds):
@@ -239,11 +244,20 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
     return id() == (round % config_.n);
   }
   TimeNs ccost(TimeNs base) const { return config_.crypto_cost(base); }
+  /// Verifies an INIT signature over `value_id`, optionally through the
+  /// memo cache (charges CryptoCosts only when actually verifying).
+  bool check_init_sig(const crypto::Digest& value_id,
+                      const crypto::Signature& sig, NodeId proposer,
+                      std::uint64_t nominal_bytes);
+  /// Same for a combined threshold signature over `value_id`.
+  bool check_threshold_proof(const crypto::ThresholdSig& proof,
+                             const crypto::Digest& value_id);
 
   // --- state ---
   Config config_;
   const crypto::KeyRegistry* registry_;
   crypto::Signer signer_;
+  crypto::VerifyCache verify_cache_;
   crypto::Vss vss_;
   ordering::OrderingClock clock_;
   ordering::DistanceTable distances_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/payload_pool.hpp"
+
 #include "support/assert.hpp"
 
 namespace lyra::pompe {
@@ -130,7 +132,7 @@ void PompeNode::flush_partial_batch() {
 }
 
 void PompeNode::propose_carved(core::BatchAssembler::Carved carved) {
-  auto msg = std::make_shared<TsRequestMsg>();
+  auto msg = sim::make_payload<TsRequestMsg>();
   msg->proposer = id();
   msg->tx_count = carved.tx_count;
   msg->nominal_bytes = carved.nominal_bytes;
@@ -171,7 +173,7 @@ void PompeNode::handle_ts_request(const sim::Envelope& env,
   }
   observe_batch(m);
 
-  auto reply = std::make_shared<TsReplyMsg>();
+  auto reply = sim::make_payload<TsReplyMsg>();
   reply->batch_digest = m.batch_digest;
   reply->ts = timestamp_for(m);
   charge(ccost(config_.costs.sign));
@@ -186,8 +188,8 @@ void PompeNode::handle_ts_reply(const sim::Envelope& env,
   OwnBatch& own = it->second;
   if (env.from >= config_.n || own.replied[env.from]) return;
 
-  charge(ccost(config_.costs.verify));
-  if (!registry_->verify(ts_message(m.batch_digest, m.ts), m.sig, env.from)) {
+  if (!check_ts_sig(m.batch_digest, m.ts, m.sig, env.from,
+                    /*count_proof=*/false)) {
     return;
   }
   own.replied[env.from] = true;
@@ -203,7 +205,7 @@ void PompeNode::handle_ts_reply(const sim::Envelope& env,
             [](const SignedTs& a, const SignedTs& b) { return a.ts < b.ts; });
   const SeqNum assigned = proof[config_.f].ts;  // median of 2f+1
 
-  auto msg = std::make_shared<SequenceMsg>();
+  auto msg = sim::make_payload<SequenceMsg>();
   msg->batch_digest = m.batch_digest;
   msg->proposer = id();
   msg->assigned_ts = assigned;
@@ -225,11 +227,15 @@ void PompeNode::handle_sequence(const sim::Envelope& env,
   std::size_t valid = 0;
   std::vector<SeqNum> ts_values;
   for (const SignedTs& st : m.proof) {
-    charge(ccost(config_.costs.verify));
-    ++stats_.proof_verifications;
     const NodeId who = st.sig.signer;
-    if (who >= config_.n || signer_seen[who]) continue;
-    if (!registry_->verify(ts_message(m.batch_digest, st.ts), st.sig, who)) {
+    if (who >= config_.n || signer_seen[who]) {
+      // Malformed or duplicate signer: screening still pays one verify.
+      charge(ccost(config_.costs.verify));
+      ++stats_.proof_verifications;
+      continue;
+    }
+    if (!check_ts_sig(m.batch_digest, st.ts, st.sig, who,
+                      /*count_proof=*/true)) {
       continue;
     }
     signer_seen[who] = true;
@@ -289,7 +295,7 @@ void PompeNode::on_block_commit(const hotstuff::Block& block) {
       if (it != own_batches_.end()) {
         for (const core::BatchAssembler::Chunk& chunk : it->second.chunks) {
           if (chunk.client == kNoNode || chunk.client == id()) continue;
-          auto msg = std::make_shared<core::CommitNotifyMsg>();
+          auto msg = sim::make_payload<core::CommitNotifyMsg>();
           msg->count = chunk.count;
           msg->submitted_at = chunk.submitted_at;
           msg->seq = e.assigned_ts;
@@ -313,6 +319,29 @@ Bytes PompeNode::ts_message(const crypto::Digest& digest, SeqNum ts) const {
                                .add_i64(ts)
                                .digest();
   return Bytes(d.begin(), d.end());
+}
+
+bool PompeNode::check_ts_sig(const crypto::Digest& batch_digest, SeqNum ts,
+                             const crypto::Signature& sig, NodeId signer,
+                             bool count_proof) {
+  crypto::Digest key{};
+  if (config_.memoize_verification) {
+    key = crypto::VerifyCache::fold_scalar(batch_digest,
+                                           static_cast<std::uint64_t>(ts));
+    if (const auto hit = verify_cache_.lookup(signer, key, sig.mac)) {
+      ++stats_.verify_cache_hits;
+      return *hit;
+    }
+    ++stats_.verify_cache_misses;
+  }
+  charge(ccost(config_.costs.verify));
+  if (count_proof) ++stats_.proof_verifications;
+  const bool ok =
+      registry_->verify(ts_message(batch_digest, ts), sig, signer);
+  if (config_.memoize_verification) {
+    verify_cache_.store(signer, key, sig.mac, ok);
+  }
+  return ok;
 }
 
 }  // namespace lyra::pompe

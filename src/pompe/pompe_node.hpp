@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "crypto/keys.hpp"
+#include "crypto/verify_cache.hpp"
 #include "hotstuff/hotstuff_core.hpp"
 #include "lyra/batching.hpp"
 #include "lyra/messages.hpp"  // client SubmitMsg / CommitNotifyMsg
@@ -32,6 +33,11 @@ struct PompeConfig {
   double cpu_parallelism = 16.0;
   TimeNs message_overhead = us(1);
 
+  /// Memoize per-node verification verdicts for timestamp signatures
+  /// (same semantics as lyra::Config::memoize_verification: verdicts are
+  /// unchanged, only cache-hit charges are skipped; off by default).
+  bool memoize_verification = false;
+
   std::size_t quorum() const { return 2 * f + 1; }
 };
 
@@ -41,6 +47,9 @@ struct PompeStats {
   std::uint64_t committed_batches = 0;
   std::uint64_t committed_txs = 0;
   std::uint64_t proof_verifications = 0;  // individual timestamp sigs
+  // Verification memoization (PompeConfig::memoize_verification).
+  std::uint64_t verify_cache_hits = 0;
+  std::uint64_t verify_cache_misses = 0;
 };
 
 /// One committed batch in Pompē's output, ordered by assigned timestamp
@@ -108,10 +117,17 @@ class PompeNode : public sim::Process {
     return static_cast<TimeNs>(static_cast<double>(base) /
                                config_.cpu_parallelism);
   }
+  /// Verifies one signed timestamp, optionally through the memo cache
+  /// (charges the modeled verify cost only when actually verifying).
+  /// `count_proof` ticks stats_.proof_verifications for computed checks.
+  bool check_ts_sig(const crypto::Digest& batch_digest, SeqNum ts,
+                    const crypto::Signature& sig, NodeId signer,
+                    bool count_proof);
 
   PompeConfig config_;
   const crypto::KeyRegistry* registry_;
   crypto::Signer signer_;
+  crypto::VerifyCache verify_cache_;
   ordering::OrderingClock clock_;
   hotstuff::HotStuffCore hotstuff_;
 

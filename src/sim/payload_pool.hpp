@@ -1,0 +1,25 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "sim/message.hpp"
+#include "support/pool.hpp"
+
+namespace lyra::sim {
+
+/// Drop-in replacement for std::make_shared at payload construction
+/// sites: the payload and its shared_ptr control block come from the
+/// arena in a single block and the slot is recycled when the last
+/// receiver releases it. An n-recipient broadcast therefore costs one
+/// pooled allocation total — the Envelope copies share the pointer and
+/// the event queue keeps them in its own slab.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_payload(Args&&... args) {
+  static_assert(std::is_base_of_v<Payload, T>,
+                "make_payload is for sim::Payload subclasses");
+  return support::make_pooled<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace lyra::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/payload_pool.hpp"
+
 #include "statesync/chunking.hpp"
 
 namespace lyra::statesync {
@@ -42,7 +44,7 @@ void StateSyncManager::start_probe() {
   round_++;
   peer_len_.assign(n_, -1);
 
-  auto req = std::make_shared<SyncManifestReqMsg>();
+  auto req = sim::make_payload<SyncManifestReqMsg>();
   req->want_cut = 0;
   req->chunk_bytes = config_.chunk_bytes;
   host_->sync_broadcast(req);
@@ -84,7 +86,7 @@ void StateSyncManager::start_manifest() {
   stats_.manifest_rounds++;
   groups_.clear();
 
-  auto req = std::make_shared<SyncManifestReqMsg>();
+  auto req = sim::make_payload<SyncManifestReqMsg>();
   req->want_cut = cut_;
   req->chunk_bytes = config_.chunk_bytes;
   host_->sync_broadcast(req);
@@ -197,7 +199,7 @@ bool StateSyncManager::request_chunk(std::size_t index) {
   cs.server = server;
   inflight_++;
 
-  auto req = std::make_shared<SyncChunkReqMsg>();
+  auto req = sim::make_payload<SyncChunkReqMsg>();
   req->cut = cut_;
   req->chunk_bytes = config_.chunk_bytes;
   req->chunk = static_cast<std::uint32_t>(index);
@@ -354,12 +356,12 @@ void StateSyncManager::catchup_tick() {
     }
   }
 
-  auto vote_req = std::make_shared<RevealReqMsg>();
+  auto vote_req = sim::make_payload<RevealReqMsg>();
   vote_req->cipher_ids = holes;
   vote_req->want_payload = false;
   std::shared_ptr<RevealReqMsg> payload_req;
   if (server != kNoNode) {
-    payload_req = std::make_shared<RevealReqMsg>();
+    payload_req = sim::make_payload<RevealReqMsg>();
     payload_req->cipher_ids = holes;
     payload_req->want_payload = true;
   }
@@ -446,7 +448,7 @@ Bytes StateSyncManager::serving_blob(std::uint64_t cut) {
 
 void StateSyncManager::handle_manifest_req(const sim::Envelope& env,
                                            const SyncManifestReqMsg& m) {
-  auto reply = std::make_shared<SyncManifestReplyMsg>();
+  auto reply = sim::make_payload<SyncManifestReplyMsg>();
   reply->ledger_len = host_->sync_ledger_length();
   if (m.want_cut == 0) {
     host_->sync_send(env.from, reply);
@@ -478,7 +480,7 @@ void StateSyncManager::handle_chunk_req(const sim::Envelope& env,
   if (m.chunk_bytes == 0 || m.chunk_bytes > kMaxChunkBytes || m.cut == 0) {
     return;
   }
-  auto reply = std::make_shared<SyncChunkReplyMsg>();
+  auto reply = sim::make_payload<SyncChunkReplyMsg>();
   reply->cut = m.cut;
   reply->chunk = m.chunk;
   reply->have = host_->sync_ledger_length() >= m.cut;
@@ -498,7 +500,7 @@ void StateSyncManager::handle_chunk_req(const sim::Envelope& env,
 void StateSyncManager::handle_reveal_req(const sim::Envelope& env,
                                          const RevealReqMsg& m) {
   if (m.cipher_ids.size() > kMaxRevealReqIds) return;
-  auto reply = std::make_shared<RevealReplyMsg>();
+  auto reply = sim::make_payload<RevealReplyMsg>();
   for (const crypto::Digest& id : m.cipher_ids) {
     RevealReplyMsg::Item item;
     item.cipher_id = id;

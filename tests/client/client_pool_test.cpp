@@ -3,9 +3,74 @@
 #include <gtest/gtest.h>
 
 #include "harness/lyra_cluster.hpp"
+#include "sim/payload_pool.hpp"
 
 namespace lyra {
 namespace {
+
+/// Minimal transport delivering every message after a fixed delay, for the
+/// resubmission tests (no consensus cluster needed).
+class FixedDelayTransport final : public sim::Transport {
+ public:
+  FixedDelayTransport(sim::Simulation* sim, TimeNs delay, std::size_t nodes)
+      : sim_(sim), delay_(delay), nodes_(nodes) {}
+
+  void attach(sim::Process* p) {
+    if (processes_.size() <= p->id()) processes_.resize(p->id() + 1);
+    processes_[p->id()] = p;
+  }
+
+  void send(NodeId from, NodeId to, sim::PayloadPtr payload) override {
+    sim::Envelope env;
+    env.from = from;
+    env.to = to;
+    env.sent_at = sim_->now();
+    env.payload = std::move(payload);
+    sim::Process* dest = processes_.at(to);
+    sim_->schedule_in(delay_, [this, dest, env]() mutable {
+      env.delivered_at = sim_->now();
+      dest->deliver(std::move(env));
+    });
+  }
+
+  std::size_t node_count() const override { return nodes_; }
+
+ private:
+  sim::Simulation* sim_;
+  TimeNs delay_;
+  std::size_t nodes_;
+  std::vector<sim::Process*> processes_;
+};
+
+/// Acknowledges every submission with a CommitNotify, except the first
+/// `drop` submissions, which it silently discards (a crashed-then-recovered
+/// node from the client's point of view).
+class FlakyTarget final : public sim::Process {
+ public:
+  FlakyTarget(sim::Simulation* sim, sim::Transport* t, NodeId id,
+              std::uint32_t drop)
+      : Process(sim, t, id), drop_(drop) {}
+
+  std::uint64_t submissions_seen = 0;
+
+ protected:
+  void on_message(const sim::Envelope& env) override {
+    const auto* submit = sim::payload_as<core::SubmitMsg>(env);
+    if (submit == nullptr) return;
+    ++submissions_seen;
+    if (drop_ > 0) {
+      --drop_;
+      return;
+    }
+    auto notify = sim::make_payload<core::CommitNotifyMsg>();
+    notify->count = submit->count;
+    notify->submitted_at = submit->submitted_at;
+    send(env.from, std::move(notify));
+  }
+
+ private:
+  std::uint32_t drop_;
+};
 
 harness::LyraClusterOptions pool_options(std::uint64_t seed) {
   harness::LyraClusterOptions opts;
@@ -59,6 +124,61 @@ TEST(ClientPool, LatencyIsPositiveAndBoundedByRun) {
   EXPECT_GT(pool.latency_ms().min(), 0.0);
   EXPECT_LT(pool.latency_ms().max(), 900.0);
   EXPECT_GT(pool.weighted_mean_latency_ms(), 0.0);
+}
+
+TEST(ClientPool, LostSubmissionStallsClosedLoopByDefault) {
+  sim::Simulation sim(1);
+  FixedDelayTransport transport(&sim, ms(1), 2);
+  FlakyTarget target(&sim, &transport, 0, /*drop=*/1);
+  client::ClientPool pool(&sim, &transport, 1, /*target=*/0, /*width=*/20,
+                          /*start_at=*/ms(10), /*measure_from=*/0,
+                          /*measure_to=*/ms(1000));
+  transport.attach(&target);
+  transport.attach(&pool);
+  target.on_start();
+  pool.on_start();
+  sim.run_until(ms(1000));
+
+  // The single submission wave was dropped; with no resubmission timer the
+  // closed loop has nothing left in flight and stalls forever.
+  EXPECT_EQ(target.submissions_seen, 1u);
+  EXPECT_EQ(pool.committed_total(), 0u);
+  EXPECT_EQ(pool.resubmissions(), 0u);
+}
+
+TEST(ClientPool, ResubmitTimeoutRecoversLostSubmission) {
+  sim::Simulation sim(1);
+  FixedDelayTransport transport(&sim, ms(1), 2);
+  FlakyTarget target(&sim, &transport, 0, /*drop=*/1);
+  client::ClientPool pool(&sim, &transport, 1, 0, 20, ms(10), 0, ms(1000));
+  pool.set_resubmit_timeout(ms(50));
+  transport.attach(&target);
+  transport.attach(&pool);
+  target.on_start();
+  pool.on_start();
+  sim.run_until(ms(1000));
+
+  // The retry re-injects the lost wave and the closed loop keeps running.
+  EXPECT_GE(pool.resubmissions(), 1u);
+  EXPECT_GT(pool.committed_total(), 20u);
+  EXPECT_EQ(pool.committed_total() % 20, 0u);
+  // Latency of the recovered wave is measured from the FIRST attempt, so
+  // the first sample includes the full timeout.
+  ASSERT_GT(pool.latency_ms().count(), 0u);
+  EXPECT_GE(pool.latency_ms().max(), 50.0);
+}
+
+TEST(ClientPool, ResubmitTimerIsQuietOnHealthyCluster) {
+  harness::LyraCluster cluster(pool_options(4));
+  auto& pool = cluster.add_client_pool(0, 20, ms(40), ms(60), ms(900));
+  pool.set_resubmit_timeout(ms(400));
+  cluster.start();
+  cluster.run_for(ms(900));
+
+  // Nothing is lost in a healthy run: the timer never fires a retry and
+  // the closed-loop dynamics are unchanged.
+  EXPECT_EQ(pool.resubmissions(), 0u);
+  EXPECT_GT(pool.committed_total(), 20u);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+#include "crypto/verify_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lyra::crypto {
+namespace {
+
+Digest digest_of(std::uint8_t fill) {
+  Digest d{};
+  d.fill(fill);
+  return d;
+}
+
+TEST(VerifyCache, StoredVerdictIsReturnedVerbatim) {
+  VerifyCache cache;
+  const Digest msg = digest_of(1);
+  const Digest mac_ok = digest_of(2);
+  const Digest mac_bad = digest_of(3);
+
+  EXPECT_EQ(cache.lookup(0, msg, mac_ok), std::nullopt);
+  cache.store(0, msg, mac_ok, true);
+  cache.store(0, msg, mac_bad, false);
+
+  // Both verdicts come back exactly as computed — including `false`:
+  // a cached rejection is as binding as a cached acceptance.
+  EXPECT_EQ(cache.lookup(0, msg, mac_ok), std::optional<bool>(true));
+  EXPECT_EQ(cache.lookup(0, msg, mac_bad), std::optional<bool>(false));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(VerifyCache, ForgedMacCannotInheritAVerdict) {
+  // The mac is part of the key: a different signature over an already
+  // cached message must miss, not borrow the genuine verdict.
+  VerifyCache cache;
+  const Digest msg = digest_of(7);
+  cache.store(3, msg, digest_of(8), true);
+  EXPECT_EQ(cache.lookup(3, msg, digest_of(9)), std::nullopt);
+  // Same for a different claimed signer with the genuine mac.
+  EXPECT_EQ(cache.lookup(4, msg, digest_of(8)), std::nullopt);
+}
+
+TEST(VerifyCache, CapacityResetForcesReverification) {
+  VerifyCache cache(/*cap=*/2);
+  cache.store(0, digest_of(1), digest_of(1), true);
+  cache.store(0, digest_of(2), digest_of(2), true);
+  EXPECT_EQ(cache.size(), 2u);
+  // At capacity the map resets wholesale; the new entry survives.
+  cache.store(0, digest_of(3), digest_of(3), true);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(0, digest_of(1), digest_of(1)), std::nullopt);
+  EXPECT_EQ(cache.lookup(0, digest_of(3), digest_of(3)),
+            std::optional<bool>(true));
+}
+
+TEST(VerifyCache, FoldThresholdIsContentSensitive) {
+  ThresholdSig proof;
+  proof.message_digest = digest_of(5);
+  proof.shares = {{0, digest_of(10)}, {1, digest_of(11)}};
+
+  const Digest base = VerifyCache::fold_threshold(proof);
+  EXPECT_EQ(VerifyCache::fold_threshold(proof), base);  // deterministic
+
+  ThresholdSig other = proof;
+  other.shares[1].mac = digest_of(12);
+  EXPECT_NE(VerifyCache::fold_threshold(other), base);
+
+  other = proof;
+  other.shares[1].signer = 2;
+  EXPECT_NE(VerifyCache::fold_threshold(other), base);
+
+  other = proof;
+  other.message_digest = digest_of(6);
+  EXPECT_NE(VerifyCache::fold_threshold(other), base);
+
+  other = proof;
+  other.shares.pop_back();
+  EXPECT_NE(VerifyCache::fold_threshold(other), base);
+}
+
+TEST(VerifyCache, FoldScalarSeparatesTimestamps) {
+  const Digest msg = digest_of(42);
+  EXPECT_EQ(VerifyCache::fold_scalar(msg, 100), VerifyCache::fold_scalar(msg, 100));
+  EXPECT_NE(VerifyCache::fold_scalar(msg, 100), VerifyCache::fold_scalar(msg, 101));
+  EXPECT_NE(VerifyCache::fold_scalar(msg, 1), msg);
+}
+
+}  // namespace
+}  // namespace lyra::crypto

@@ -1,0 +1,177 @@
+// Determinism guard: the simulator is a pure function of (seed, config).
+// Each scenario below hashes the full protocol trace plus every node's
+// ledger into one digest, and pins the digest produced by the engine
+// BEFORE the PR-4 hot-path overhaul (tiered scheduler, pooling, crypto
+// kernels). The overhaul must not move a single event: an engine change
+// that reorders equal-time events, perturbs RNG draws, or alters a digest
+// anywhere shows up here as a one-line failure.
+//
+// The scenarios run with jitter_sigma = 0 so no libm transcendentals enter
+// the picture: every quantity hashed is integer-derived and the goldens
+// hold across toolchains (the Rng is already toolchain-stable by design).
+//
+// To regenerate goldens after an *intentional* behaviour change, run with
+// LYRA_PRINT_DIGESTS=1 and copy the printed values.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/lyra_cluster.hpp"
+#include "harness/pompe_cluster.hpp"
+#include "support/hex.hpp"
+
+namespace lyra {
+namespace {
+
+/// Folds a finished run into one digest: every trace event (time, node,
+/// category, text) in order, then every node's ledger.
+class RunDigest {
+ public:
+  void add_trace(const sim::Trace& trace) {
+    for (const sim::TraceEvent& ev : trace.events()) {
+      h_.add_str("ev").add_i64(ev.at).add_u32(ev.node).add_str(ev.category)
+          .add_str(ev.text);
+    }
+  }
+
+  void add_lyra_ledger(const core::LyraNode& node) {
+    h_.add_str("ledger").add_u32(node.id());
+    for (const core::CommittedBatch& cb : node.ledger()) {
+      h_.add_i64(cb.seq).add(cb.cipher_id).add_u32(cb.tx_count)
+          .add_i64(cb.committed_at).add_i64(cb.revealed_at);
+    }
+  }
+
+  void add_pompe_ledger(NodeId id, const pompe::PompeNode& node) {
+    h_.add_str("ledger").add_u32(id);
+    for (const pompe::PompeCommitted& pc : node.ledger()) {
+      h_.add_i64(pc.assigned_ts).add(pc.batch_digest).add_u32(pc.tx_count)
+          .add_i64(pc.committed_at).add_u64(pc.block_height);
+    }
+  }
+
+  std::string hex() { return to_hex(h_.digest()); }
+
+ private:
+  crypto::Hasher h_;
+};
+
+harness::LyraClusterOptions lyra_options(std::uint64_t seed) {
+  harness::LyraClusterOptions opts;
+  opts.config.n = 4;
+  opts.config.f = 1;
+  opts.config.delta = ms(2);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 10;
+  opts.config.batch_timeout = ms(5);
+  opts.config.heartbeat_period = ms(3);
+  opts.config.commit_poll = ms(1);
+  opts.config.probe_period = ms(3);
+  opts.config.clock_offset_spread = us(200);
+  opts.topology = net::single_region(5);  // node slots + one client pool
+  opts.topology.jitter_sigma = 0.0;       // keep goldens libm-free
+  opts.seed = seed;
+  return opts;
+}
+
+std::string lyra_digest(std::uint64_t seed) {
+  harness::LyraCluster cluster(lyra_options(seed));
+  cluster.simulation().trace().enable(true);
+  cluster.add_client_pool(/*target=*/0, /*width=*/20, /*start_at=*/ms(40),
+                          /*measure_from=*/ms(100), /*measure_to=*/ms(800));
+  cluster.start();
+  cluster.run_for(ms(800));
+  RunDigest d;
+  d.add_trace(cluster.simulation().trace());
+  for (NodeId i = 0; i < 4; ++i) d.add_lyra_ledger(cluster.node(i));
+  return d.hex();
+}
+
+std::string lyra_crash_digest(std::uint64_t seed) {
+  auto opts = lyra_options(seed);
+  opts.durable_storage = true;
+  opts.journal.snapshot_every_committed = 2;
+  harness::LyraCluster cluster(opts);
+  cluster.simulation().trace().enable(true);
+  cluster.add_client_pool(/*target=*/0, /*width=*/20, /*start_at=*/ms(40),
+                          /*measure_from=*/ms(100), /*measure_to=*/ms(800));
+  cluster.schedule_crash_restart(/*id=*/2, /*crash_at=*/ms(120),
+                                 /*restart_at=*/ms(200));
+  cluster.start();
+  cluster.run_for(ms(800));
+  RunDigest d;
+  d.add_trace(cluster.simulation().trace());
+  for (NodeId i = 0; i < 4; ++i) {
+    if (cluster.node_alive(i)) d.add_lyra_ledger(cluster.node(i));
+  }
+  return d.hex();
+}
+
+std::string pompe_digest(std::uint64_t seed) {
+  harness::PompeClusterOptions opts;
+  opts.config.n = 4;
+  opts.config.f = 1;
+  opts.config.delta = ms(2);
+  opts.config.batch_size = 10;
+  opts.config.batch_timeout = ms(5);
+  opts.config.clock_offset_spread = us(200);
+  opts.topology = net::single_region(5);
+  opts.topology.jitter_sigma = 0.0;
+  opts.seed = seed;
+  harness::PompeCluster cluster(opts);
+  cluster.simulation().trace().enable(true);
+  cluster.add_client_pool(/*target=*/0, /*width=*/20, /*start_at=*/ms(40),
+                          /*measure_from=*/ms(100), /*measure_to=*/ms(800));
+  cluster.start();
+  cluster.run_for(ms(800));
+  RunDigest d;
+  d.add_trace(cluster.simulation().trace());
+  for (NodeId i = 0; i < 4; ++i) d.add_pompe_ledger(i, cluster.node(i));
+  return d.hex();
+}
+
+bool print_digests() {
+  const char* p = std::getenv("LYRA_PRINT_DIGESTS");
+  return p != nullptr && p[0] == '1';
+}
+
+// Goldens captured from the pre-overhaul engine (see file comment).
+constexpr const char* kLyraGolden =
+    "6dbd1263004474c5919c9c0d687ff91487fdd77bdee46018248e0e7b7283453e";
+constexpr const char* kLyraCrashGolden =
+    "2c250a31aadb364a51b454d2a732450df5f2ea2db134128f01e115f8ee26b02b";
+constexpr const char* kPompeGolden =
+    "d70f3a751aabd70d1c13ca7db1e93e42b3338c0edc84326d167729ccad2eef71";
+
+TEST(Determinism, LyraTraceDigestIsReproducibleAndPinned) {
+  const std::string first = lyra_digest(11);
+  const std::string second = lyra_digest(11);
+  EXPECT_EQ(first, second) << "same seed diverged within one binary";
+  if (print_digests()) std::printf("LYRA GOLDEN %s\n", first.c_str());
+  EXPECT_EQ(first, kLyraGolden);
+}
+
+TEST(Determinism, LyraCrashRestartDigestIsReproducibleAndPinned) {
+  const std::string first = lyra_crash_digest(11);
+  const std::string second = lyra_crash_digest(11);
+  EXPECT_EQ(first, second) << "same seed diverged within one binary";
+  if (print_digests()) std::printf("LYRA CRASH GOLDEN %s\n", first.c_str());
+  EXPECT_EQ(first, kLyraCrashGolden);
+}
+
+TEST(Determinism, PompeTraceDigestIsReproducibleAndPinned) {
+  const std::string first = pompe_digest(11);
+  const std::string second = pompe_digest(11);
+  EXPECT_EQ(first, second) << "same seed diverged within one binary";
+  if (print_digests()) std::printf("POMPE GOLDEN %s\n", first.c_str());
+  EXPECT_EQ(first, kPompeGolden);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  EXPECT_NE(lyra_digest(11), lyra_digest(12));
+}
+
+}  // namespace
+}  // namespace lyra

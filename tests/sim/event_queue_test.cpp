@@ -2,8 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace lyra::sim {
 namespace {
+
+/// Directory that records the destination id of every delivery the queue
+/// fires, in firing order, and reports every slot as vacant (the queue
+/// counts the delivery as dropped). process_at() is invoked exactly once
+/// per fired delivery, so the recording IS the global firing order.
+class RecordingDirectory final : public ProcessDirectory {
+ public:
+  Process* process_at(NodeId id) const override {
+    fired.push_back(id);
+    return nullptr;
+  }
+  mutable std::vector<NodeId> fired;
+};
+
+Envelope envelope_to(NodeId to) {
+  Envelope env;
+  env.to = to;
+  return env;
+}
 
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;
@@ -76,6 +98,127 @@ TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
 TEST(EventQueue, EmptyQueueNextTimeIsSentinel) {
   EventQueue q;
   EXPECT_EQ(q.next_time(), kNoSeq);
+}
+
+TEST(EventQueue, EqualTimeTimersAndDeliveriesFireInInsertionOrder) {
+  // The two tiers share one id space: at equal times the global order is
+  // insertion order, regardless of which tier an event sits in.
+  EventQueue q;
+  RecordingDirectory dir;
+  std::vector<NodeId> order;  // timers recorded as 1000 + k
+  q.schedule_at(5, [&] { order.push_back(1000); });
+  q.schedule_delivery(5, &dir, envelope_to(0));
+  q.schedule_at(5, [&] { order.push_back(1001); });
+  q.schedule_delivery(5, &dir, envelope_to(1));
+  q.schedule_delivery(5, &dir, envelope_to(2));
+  q.schedule_at(5, [&] { order.push_back(1002); });
+  while (!q.empty()) {
+    const std::size_t before = dir.fired.size();
+    EXPECT_EQ(q.run_next(), 5);
+    if (dir.fired.size() > before) order.push_back(dir.fired.back());
+  }
+  EXPECT_EQ(order, (std::vector<NodeId>{1000, 0, 1001, 1, 2, 1002}));
+}
+
+TEST(EventQueue, DeliveryOrderSpansWheelSpillAndLateTiers) {
+  // Deliveries land in three tiers: the calendar wheel (near future), the
+  // spill heap (beyond the ~537 ms horizon), and the drain side-heap
+  // (scheduled at/behind the tick being drained). The observable firing
+  // order must be the same global (time, insertion) order regardless.
+  EventQueue q;
+  RecordingDirectory dir;
+  const TimeNs far1 = ms(2000);  // beyond the ~537 ms wheel horizon
+  const TimeNs far2 = ms(1000);
+  const TimeNs near1 = ms(1);
+  const TimeNs near2 = us(200);
+  q.schedule_delivery(far1, &dir, envelope_to(10));
+  q.schedule_delivery(near1, &dir, envelope_to(11));
+  q.schedule_delivery(far2, &dir, envelope_to(12));
+  q.schedule_delivery(near2, &dir, envelope_to(13));
+  // A timer firing at near2 schedules a delivery at that same instant:
+  // its tick is already being drained, so it rides the side heap — and
+  // must still fire before anything at a later time.
+  q.schedule_at(near2, [&] { q.schedule_delivery(near2, &dir, envelope_to(14)); });
+
+  std::vector<TimeNs> fire_times;
+  while (!q.empty()) fire_times.push_back(q.run_next());
+  EXPECT_EQ(dir.fired, (std::vector<NodeId>{13, 14, 11, 12, 10}));
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+  EXPECT_EQ(q.deliveries_dropped(), 5u);  // vacant directory slots drop
+}
+
+TEST(EventQueue, VacantDirectorySlotCountsAsDropped) {
+  // Messages in flight to a crashed process: the slot resolves to nullptr
+  // at delivery time and the queue drops the message, keeping count.
+  EventQueue q;
+  RecordingDirectory dir;
+  q.schedule_delivery(10, &dir, envelope_to(3));
+  q.schedule_delivery(20, &dir, envelope_to(4));
+  EXPECT_EQ(q.deliveries_dropped(), 0u);
+  EXPECT_EQ(q.run_next(), 10);
+  EXPECT_EQ(q.deliveries_dropped(), 1u);
+  EXPECT_EQ(q.run_next(), 20);
+  EXPECT_EQ(q.deliveries_dropped(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EnvelopeSlabRecyclesSlots) {
+  // A steady-state ping-pong keeps exactly one delivery in flight: the
+  // slab must recycle its single slot instead of growing.
+  EventQueue q;
+  RecordingDirectory dir;
+  TimeNs t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    q.schedule_delivery(t += us(100), &dir, envelope_to(0));
+    q.run_next();
+  }
+  EXPECT_EQ(q.envelope_slab_capacity(), 1u);
+  // Burst of 8 in flight at once: the high-water mark, then recycled.
+  for (int i = 0; i < 8; ++i) q.schedule_delivery(t + us(i), &dir, envelope_to(0));
+  while (!q.empty()) q.run_next();
+  t += us(100);
+  for (int i = 0; i < 200; ++i) {
+    q.schedule_delivery(t += us(100), &dir, envelope_to(0));
+    q.run_next();
+  }
+  EXPECT_EQ(q.envelope_slab_capacity(), 8u);
+}
+
+TEST(EventQueue, CallbackSlabRecyclesSlotsIncludingCancelled) {
+  EventQueue q;
+  TimeNs t = 0;
+  int ran = 0;
+  for (int i = 0; i < 500; ++i) {
+    q.schedule_at(t += us(50), [&] { ++ran; });
+    q.run_next();
+  }
+  EXPECT_EQ(ran, 500);
+  EXPECT_EQ(q.callback_slab_capacity(), 1u);
+  // Cancelled timers release their slot too (once swept).
+  const auto id = q.schedule_at(t + us(50), [&] { ++ran; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());  // sweep
+  q.schedule_at(t + us(60), [&] { ++ran; });
+  q.run_next();
+  EXPECT_EQ(q.callback_slab_capacity(), 1u);
+  EXPECT_EQ(ran, 501);
+}
+
+TEST(EventQueue, CancelAfterRescheduleOnlyHitsTheOldId) {
+  // A cancelled id must never suppress a different, live event that
+  // happens to reuse the same slab slot.
+  EventQueue q;
+  int a = 0, b = 0;
+  const auto ida = q.schedule_at(10, [&] { ++a; });
+  q.run_next();                            // slot freed
+  const auto idb = q.schedule_at(20, [&] { ++b; });  // reuses the slot
+  q.cancel(ida);                           // already fired: harmless no-op
+  EXPECT_FALSE(q.empty());
+  q.run_next();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  q.cancel(idb);  // already fired: harmless no-op
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace
