@@ -45,9 +45,10 @@ inline void write_csv(const std::string& path, const std::string& content) {
 /// One benchmark measurement: a named scenario plus the engine-side and
 /// protocol-side numbers of a run.
 struct BenchEntry {
-  std::string name;    // scenario, e.g. "lyra_n100"
+  std::string name;    // scenario, e.g. "lyra_n100_t4"
   std::string params;  // human-readable knobs, e.g. "n=100 clients=2600"
   std::uint64_t seed = 0;
+  unsigned threads = 1;          // execution threads (1 = serial engine)
   std::uint64_t events = 0;      // events executed by the engine
   double events_per_sec = 0.0;   // events / host wall-clock seconds
   double host_seconds = 0.0;     // wall-clock time of the event loop
@@ -94,6 +95,7 @@ inline void write_bench_json(const std::string& path,
     j += "        {\"name\": \"" + json_escape(e.name) + "\", \"params\": \"" +
          json_escape(e.params) +
          "\", \"seed\": " + std::to_string(e.seed) +
+         ", \"threads\": " + std::to_string(e.threads) +
          ", \"events\": " + std::to_string(e.events) +
          ", \"events_per_sec\": " + json_num(e.events_per_sec) +
          ", \"host_seconds\": " + json_num(e.host_seconds) +

@@ -24,7 +24,7 @@ using harness::RunResult;
 
 namespace {
 
-bench::BenchEntry measure(const char* name, const RunConfig& cfg) {
+bench::BenchEntry measure(const std::string& name, const RunConfig& cfg) {
   const RunResult r = run_experiment(cfg);
   bench::BenchEntry e;
   e.name = name;
@@ -33,6 +33,7 @@ bench::BenchEntry measure(const char* name, const RunConfig& cfg) {
              " batch=" + std::to_string(cfg.batch_size) +
              " duration_ms=" + std::to_string(to_ms(cfg.duration));
   e.seed = cfg.seed;
+  e.threads = cfg.threads;
   e.events = r.events_executed;
   e.host_seconds = r.host_seconds;
   e.sim_seconds = r.sim_seconds;
@@ -41,7 +42,7 @@ bench::BenchEntry measure(const char* name, const RunConfig& cfg) {
           ? static_cast<double>(r.events_executed) / r.host_seconds
           : 0.0;
   e.throughput_tps = r.throughput_tps;
-  std::printf("%-14s %12llu %10.2f %14.0f %12.0f   %s\n", name,
+  std::printf("%-14s %12llu %10.2f %14.0f %12.0f   %s\n", name.c_str(),
               static_cast<unsigned long long>(e.events), e.host_seconds,
               e.events_per_sec, e.throughput_tps,
               r.prefix_consistent ? "ok" : "VIOLATED");
@@ -87,6 +88,18 @@ int main(int argc, char** argv) {
   lyra.measure_from = measure_from;
   entries.push_back(
       measure(quick ? "lyra_n31" : "lyra_n100", lyra));
+
+  // The same scenario under the parallel executor, one entry per thread
+  // count. The engine guarantees identical results (the equivalence tests
+  // pin that); what is being measured here is events/host-second scaling.
+  const std::string base = quick ? "lyra_n31" : "lyra_n100";
+  for (unsigned threads : quick ? std::vector<unsigned>{2}
+                                : std::vector<unsigned>{2, 4}) {
+    RunConfig cfg = lyra;
+    cfg.threads = threads;
+    entries.push_back(
+        measure(base + "_t" + std::to_string(threads), cfg));
+  }
 
   RunConfig pompe;
   pompe.protocol = RunConfig::Protocol::kPompe;

@@ -37,9 +37,24 @@ void ClientPool::submit(std::uint32_t count) {
 }
 
 void ClientPool::arm_resubmit_timer() {
-  if (resubmit_timer_armed_ || resubmit_timeout_ <= 0) return;
+  if (resubmit_timeout_ <= 0 || outstanding_.empty()) return;
+  TimeNs earliest = 0;
+  bool first = true;
+  for (const auto& [submitted_at, wave] : outstanding_) {
+    const TimeNs deadline = wave.last_attempt + resubmit_timeout_;
+    if (first || deadline < earliest) {
+      earliest = deadline;
+      first = false;
+    }
+  }
+  if (resubmit_timer_armed_) {
+    if (resubmit_deadline_ <= earliest) return;  // fires early enough
+    cancel_timer(resubmit_timer_);  // a new wave is due sooner: re-aim
+  }
   resubmit_timer_armed_ = true;
-  set_timer(resubmit_timeout_, [this] { check_resubmit(); });
+  resubmit_deadline_ = earliest;
+  const TimeNs delay = earliest > now() ? earliest - now() : 0;
+  resubmit_timer_ = set_timer(delay, [this] { check_resubmit(); });
 }
 
 void ClientPool::check_resubmit() {

@@ -75,7 +75,13 @@ class ClientPool final : public sim::Process {
   };
   std::map<TimeNs, Outstanding> outstanding_;
   TimeNs resubmit_timeout_ = 0;
+  // The timer always targets the earliest outstanding deadline
+  // (min over waves of last_attempt + timeout). A fixed-period timer is
+  // not enough: a wave submitted just after the timer was armed would be
+  // skipped at the first firing and wait almost a full extra period.
   bool resubmit_timer_armed_ = false;
+  TimerId resubmit_timer_ = 0;
+  TimeNs resubmit_deadline_ = 0;
   std::uint64_t resubmissions_ = 0;
 
   Samples latency_ms_;

@@ -62,6 +62,7 @@ RunResult run_lyra(const RunConfig& config) {
   opts.config.retain_payloads = config.wants_state_sync();
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
+  opts.threads = config.threads;
   opts.durable_storage = !config.crash_restarts.empty();
   opts.state_sync = config.wants_state_sync();
   if (config.byzantine_silent > 0) {
@@ -164,6 +165,7 @@ RunResult run_pompe(const RunConfig& config) {
   opts.config.initial_leader = 0;  // Oregon
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
+  opts.threads = config.threads;
 
   PompeCluster cluster(std::move(opts));
   cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);

@@ -22,6 +22,11 @@ struct RunConfig {
   TimeNs client_start = ms(900);  // after Lyra's distance warm-up
   std::uint64_t seed = 42;
 
+  /// Execution threads for the simulation engine (1 = serial). N > 1 runs
+  /// the deterministic parallel executor with N-1 workers; the committed
+  /// ledgers and client stats are identical to the serial run.
+  unsigned threads = 1;
+
   // Protocol knobs (paper defaults).
   std::size_t batch_size = 800;
   SeqNum lambda = ms(5);

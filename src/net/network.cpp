@@ -53,9 +53,12 @@ void Network::deliver_one(NodeId from, NodeId to, sim::PayloadPtr payload,
   env.sent_at = sim_->now();
   env.payload = std::move(payload);
 
-  TimeNs delay = latency_->sample(from, to, sim_->rng());
+  // Engine-internal stream: latency jitter and adversary draws must not
+  // perturb the handler-visible rng(), and under parallel execution they
+  // happen on the scheduler thread at commit time.
+  TimeNs delay = latency_->sample(from, to, sim_->net_rng());
   if (adversary_ != nullptr) {
-    delay = adversary_->delay(env, delay, sim_->rng());
+    delay = adversary_->delay(env, delay, sim_->net_rng());
   }
   LYRA_ASSERT(delay >= 0, "negative message delay");
   delay += egress_delay;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -51,16 +52,21 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedules `fn` at absolute time `at`. Returns an id usable by cancel().
-  std::uint64_t schedule_at(TimeNs at, Callback fn);
+  /// `owner` tags the event with the process whose state the callback
+  /// touches (kNoNode for harness-level control callbacks); the parallel
+  /// executor shards events by owner and treats ownerless ones as barriers.
+  std::uint64_t schedule_at(TimeNs at, Callback fn, NodeId owner = kNoNode);
 
   /// Schedules the delivery of `env` (to `env.to`, resolved through `dir`
   /// at delivery time) at `at`. Not cancellable. `at` must not precede the
-  /// time of the last event run.
+  /// time of the last event run. The event's owner is env.to.
   void schedule_delivery(TimeNs at, ProcessDirectory* dir, Envelope env);
 
   /// Cancels a scheduled callback event. Cancelling an already-fired or
-  /// unknown id is a harmless no-op.
-  void cancel(std::uint64_t id);
+  /// unknown id is a harmless no-op. Returns true when a live event was
+  /// actually cancelled (the parallel executor uses false to chase events
+  /// it has already popped).
+  bool cancel(std::uint64_t id);
 
   /// True when no live (non-cancelled) event remains.
   bool empty() const;
@@ -68,9 +74,36 @@ class EventQueue {
   /// Time of the next live event; kNoSeq if empty.
   TimeNs next_time() const;
 
+  /// Key and owner of the next live event, without popping it. Returns
+  /// false when empty. Used by the parallel executor to decide whether the
+  /// next event fits the current lookahead window before committing to it.
+  bool peek_next(TimeNs& at, std::uint64_t& id, NodeId& owner) const;
+
+  /// One event popped (not yet executed) by the parallel executor. Exactly
+  /// one of `fn` / (`env`, `dir`) is populated, per `is_delivery`.
+  struct Popped {
+    TimeNs at = 0;
+    std::uint64_t id = 0;
+    NodeId owner = kNoNode;
+    bool is_delivery = false;
+    Callback fn;
+    Envelope env;
+    ProcessDirectory* dir = nullptr;
+  };
+
+  /// Pops the next live event without running it; the slab slot is recycled
+  /// and the payload moved into `out`. Must not be called on an empty
+  /// queue. run_next() == pop_next() + execute.
+  void pop_next(Popped& out);
+
   /// Pops and runs the next live event; returns its time.
   /// Must not be called on an empty queue.
   TimeNs run_next();
+
+  /// Deliveries resolved to a vacant slot by an external executor (the
+  /// parallel path resolves destinations on worker threads and reports
+  /// drops back here so the counter keeps one meaning).
+  void note_delivery_dropped() { ++deliveries_dropped_; }
 
   /// Deliveries whose destination slot was vacant at delivery time
   /// (messages in flight to a crashed process).
@@ -83,6 +116,12 @@ class EventQueue {
   std::size_t envelope_slab_capacity() const { return env_slots_.size(); }
   std::size_t callback_slab_capacity() const { return fn_slots_.size(); }
 
+  /// Cancelled ids whose heap entry has not surfaced yet. Bounded by the
+  /// number of live timers: cancelling a fired or non-timer id is a no-op
+  /// (regression guard for the cancel-after-fire leak).
+  std::size_t cancelled_pending() const { return cancelled_.size(); }
+  std::size_t live_timer_count() const { return live_timer_slots_.size(); }
+
  private:
   /// One scheduled event: the ordering key plus a handle into the payload
   /// slab. Trivially copyable — this is all that heaps and buckets move.
@@ -90,6 +129,7 @@ class EventQueue {
     TimeNs at;
     std::uint64_t id;
     std::uint32_t slot;
+    NodeId owner;
   };
   /// Min-heap / ascending-sort order on (at, id).
   struct RefAfter {
@@ -160,11 +200,16 @@ class EventQueue {
   std::vector<DeliverySlot> env_slots_;
   std::vector<std::uint32_t> env_free_;
 
-  // Timers: POD heap + recycled callback slab + lazy cancellation.
+  // Timers: POD heap + recycled callback slab + lazy cancellation. A
+  // cancelled id's heap entry stays until it surfaces; cancel() releases
+  // the callback slot eagerly and only marks ids that are actually live
+  // (live_timer_slots_: id -> slot for every timer still in the heap), so
+  // cancelled_ stays bounded by the live timer count.
   mutable RefHeap timers_;
   mutable std::vector<Callback> fn_slots_;
   mutable std::vector<std::uint32_t> fn_free_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
+  mutable std::unordered_map<std::uint64_t, std::uint32_t> live_timer_slots_;
 
   std::uint64_t next_id_ = 0;
   std::uint64_t deliveries_dropped_ = 0;

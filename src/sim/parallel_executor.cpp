@@ -1,0 +1,467 @@
+#include "sim/parallel_executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+#include "support/assert.hpp"
+
+namespace lyra::sim {
+
+namespace internal {
+thread_local std::vector<Effect>* t_effect_log = nullptr;
+}  // namespace internal
+
+namespace {
+/// The task currently executing on this worker thread (type-erased: Task
+/// is private to ParallelExecutor). Used by the RNG gate.
+thread_local void* t_current_task = nullptr;
+
+bool choose_inline_mode() {
+  if (const char* env = std::getenv("LYRA_PARALLEL_INLINE")) {
+    return env[0] == '1';
+  }
+  return std::thread::hardware_concurrency() <= 1;
+}
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(Simulation* sim, unsigned workers,
+                                   TimeNs lookahead)
+    : sim_(sim),
+      worker_count_(workers == 0 ? 1 : workers),
+      lookahead_(lookahead),
+      inline_mode_(choose_inline_mode()) {
+  LYRA_ASSERT(lookahead_ > 0, "parallel executor needs a lookahead bound");
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  if (workers_started_) {
+    stop_ = true;
+    for (auto& w : workers_) {
+      { std::lock_guard<std::mutex> lk(w->m); }
+      w->cv.notify_all();
+    }
+    for (auto& w : workers_) w->thread.join();
+  }
+}
+
+void ParallelExecutor::ensure_workers() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  workers_.reserve(worker_count_);
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start only after the vector is fully built so worker_main never sees a
+  // reallocating container.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, pw = w.get()] { worker_main(*pw); });
+  }
+}
+
+ParallelExecutor::Task* ParallelExecutor::acquire_task() {
+  if (!task_free_.empty()) {
+    Task* t = task_free_.back();
+    task_free_.pop_back();
+    t->done.store(false, std::memory_order_relaxed);
+    return t;
+  }
+  task_pool_.push_back(std::make_unique<Task>());
+  return task_pool_.back().get();
+}
+
+void ParallelExecutor::recycle(Task* t) {
+  t->fn = nullptr;
+  t->env = Envelope{};
+  t->dir = nullptr;
+  t->effects.clear();  // keeps capacity
+  task_free_.push_back(t);
+}
+
+ParallelExecutor::OwnerState& ParallelExecutor::owner_state(NodeId owner) {
+  if (owners_.size() <= owner) owners_.resize(owner + 1);
+  return owners_[owner];
+}
+
+void ParallelExecutor::cancel_event(std::uint64_t id) {
+  if (sim_->queue_.cancel(id)) return;
+  // Already popped into a holding heap (same-owner ordering guarantees a
+  // cancellable event is never dispatched yet); drop it at dispatch time.
+  cancelled_popped_.insert(id);
+}
+
+void ParallelExecutor::await_rng_turn() {
+  Task* self = static_cast<Task*>(t_current_task);
+  LYRA_ASSERT(self != nullptr, "rng gate called outside a worker task");
+  // Inline mode executes in exact global order, so the running task is
+  // the head by construction: every draw is already in serial order.
+  if (inline_mode_) return;
+  const Key key{self->at, self->id};
+  std::unique_lock<std::mutex> lk(m_);
+  if (head_valid_ && head_key_ == key) return;
+  ++rng_waiters_;
+  cv_rng_.wait(lk, [&] { return head_valid_ && head_key_ == key; });
+  --rng_waiters_;
+}
+
+void ParallelExecutor::execute(Task* t) {
+  internal::t_effect_log = &t->effects;
+  sim::internal::t_task_now = &t->at;
+  t_current_task = t;
+  if (t->is_delivery) {
+    // Resolve the destination now, exactly where the serial path would:
+    // attach/detach only happen in barrier events, which never overlap
+    // worker execution.
+    if (Process* dest = t->dir->process_at(t->env.to); dest != nullptr) {
+      t->env.delivered_at = t->at;
+      dest->deliver(std::move(t->env));
+    } else {
+      Effect e;
+      e.kind = Effect::Kind::kDeliveryDropped;
+      t->effects.push_back(std::move(e));
+    }
+    t->env = Envelope{};  // release the payload on this thread
+  } else {
+    t->fn();
+    t->fn = nullptr;
+  }
+  t_current_task = nullptr;
+  sim::internal::t_task_now = nullptr;
+  internal::t_effect_log = nullptr;
+}
+
+void ParallelExecutor::worker_main(Worker& w) {
+  for (;;) {
+    Task* t = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(w.m);
+      w.cv.wait(lk, [&] { return stop_.load() || !w.q.empty(); });
+      if (w.q.empty()) return;  // stop requested, queue drained
+      t = w.q.front();
+      w.q.pop_front();
+    }
+    execute(t);
+    t->done.store(true, std::memory_order_release);
+    bool notify;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      notify = sched_waiting_;
+    }
+    if (notify) cv_sched_.notify_one();
+  }
+}
+
+void ParallelExecutor::apply(Task* t) {
+  sim_->now_ = t->at;
+  for (Effect& e : t->effects) {
+    switch (e.kind) {
+      case Effect::Kind::kSend:
+        e.transport->send(e.from, e.to, std::move(e.payload));
+        break;
+      case Effect::Kind::kSendAll:
+        e.transport->send_all(e.from, std::move(e.payload));
+        break;
+      case Effect::Kind::kSetTimer:
+        e.proc->apply_set_timer(e.token, e.t, std::move(e.fn));
+        break;
+      case Effect::Kind::kCancelTimer:
+        e.proc->apply_cancel_timer(e.token);
+        break;
+      case Effect::Kind::kSchedulePump:
+        e.proc->apply_schedule_pump(e.t);
+        break;
+      case Effect::Kind::kTrace:
+        sim_->trace_.record(t->at, e.from, std::move(e.text_a),
+                            std::move(e.text_b));
+        break;
+      case Effect::Kind::kDeliveryDropped:
+        sim_->queue_.note_delivery_dropped();
+        break;
+    }
+  }
+}
+
+std::uint64_t ParallelExecutor::run_inline(TimeNs deadline,
+                                           std::uint64_t max_events) {
+  // No workers, no windows: pop the global minimum, run it through the
+  // same execute/apply pipeline, commit immediately. Nothing is ever held
+  // outside the queue, so cancels always resolve in the queue itself and
+  // cancelled_popped_ stays empty.
+  std::uint64_t executed = 0;
+  for (;;) {
+    TimeNs at;
+    std::uint64_t id;
+    NodeId owner;
+    if (!sim_->queue_.peek_next(at, id, owner)) break;
+    if (at > deadline) break;
+    LYRA_ASSERT(executed < max_events,
+                "event budget exhausted: livelock or unbounded protocol");
+    EventQueue::Popped p;
+    sim_->queue_.pop_next(p);
+    if (owner == kNoNode) {
+      LYRA_ASSERT(!p.is_delivery, "delivery events always have an owner");
+      sim_->now_ = p.at;
+      p.fn();
+      ++executed;
+      continue;
+    }
+    Task* t = acquire_task();
+    t->at = p.at;
+    t->id = p.id;
+    t->owner = p.owner;
+    t->is_delivery = p.is_delivery;
+    t->fn = std::move(p.fn);
+    t->env = std::move(p.env);
+    t->dir = p.dir;
+    execute(t);
+    apply(t);
+    ++executed;
+    recycle(t);
+  }
+  LYRA_ASSERT(cancelled_popped_.empty(),
+              "inline run accumulated popped-event cancels");
+  return executed;
+}
+
+std::uint64_t ParallelExecutor::run(TimeNs deadline,
+                                    std::uint64_t max_events) {
+  if (inline_mode_) return run_inline(deadline, max_events);
+  ensure_workers();
+  std::uint64_t executed = 0;
+  for (;;) {
+    bool progressed = false;
+
+    // --- commit phase: apply finished tasks in global (at, id) order.
+    // The oldest in-flight task is committable only when NO queued or held
+    // event precedes it: an apply can create a timer or pump for a
+    // now-idle owner at a time earlier than other in-flight tasks, and
+    // that event must be dispatched and committed first. Without this
+    // gate a later task would commit (and replay its sends/RNG draws)
+    // ahead of an earlier one, diverging from the serial order.
+    for (;;) {
+      Key other{};
+      bool have_other = false;
+      {
+        TimeNs at;
+        std::uint64_t id;
+        NodeId owner;
+        if (sim_->queue_.peek_next(at, id, owner)) {
+          other = Key{at, id};
+          have_other = true;
+        }
+      }
+      if (!held_keys_.empty() &&
+          (!have_other || *held_keys_.begin() < other)) {
+        other = *held_keys_.begin();
+        have_other = true;
+      }
+      Task* t = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!inflight_.empty()) {
+          auto it = inflight_.begin();
+          if ((!have_other || it->first < other) &&
+              it->second->done.load(std::memory_order_acquire)) {
+            t = it->second;
+            inflight_.erase(it);
+          }
+        }
+      }
+      if (t == nullptr) break;
+      LYRA_ASSERT(executed < max_events,
+                  "event budget exhausted: livelock or unbounded protocol");
+      apply(t);
+      ++executed;
+      OwnerState& os = owner_state(t->owner);
+      os.busy = false;
+      if (!os.held.empty()) ready_.push_back(t->owner);
+      recycle(t);
+      progressed = true;
+    }
+
+    // --- refill phase: pop the queue into the holding heaps, bounded by
+    // the lookahead window anchored at the oldest uncommitted event ---
+    TimeNs window_base = 0;
+    bool have_base = false;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!inflight_.empty()) {
+        window_base = inflight_.begin()->first.first;
+        have_base = true;
+      }
+    }
+    if (!held_keys_.empty() &&
+        (!have_base || held_keys_.begin()->first < window_base)) {
+      window_base = held_keys_.begin()->first;
+      have_base = true;
+    }
+    for (;;) {
+      TimeNs at;
+      std::uint64_t id;
+      NodeId owner;
+      if (!sim_->queue_.peek_next(at, id, owner)) break;
+      if (at > deadline) break;
+      if (owner == kNoNode) break;  // barrier fences the window
+      if (!have_base) {
+        window_base = at;
+        have_base = true;
+      }
+      if (at - window_base >= lookahead_) break;
+      Task* t = acquire_task();
+      EventQueue::Popped p;
+      sim_->queue_.pop_next(p);
+      LYRA_ASSERT(p.id == id, "refill popped a different event than peeked");
+      t->at = p.at;
+      t->id = p.id;
+      t->owner = p.owner;
+      t->is_delivery = p.is_delivery;
+      t->fn = std::move(p.fn);
+      t->env = std::move(p.env);
+      t->dir = p.dir;
+      owner_state(owner).held.push(t);
+      held_keys_.insert(Key{at, id});
+      ready_.push_back(owner);
+    }
+
+    // --- dispatch phase: hand each ready idle owner its oldest event ---
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      const NodeId owner = ready_[i];
+      OwnerState& os = owner_state(owner);
+      while (!os.held.empty() &&
+             cancelled_popped_.erase(os.held.top()->id) > 0) {
+        Task* dead = os.held.top();
+        os.held.pop();
+        held_keys_.erase(Key{dead->at, dead->id});
+        recycle(dead);  // a cancelled timer never runs and never counts
+      }
+      if (os.busy || os.held.empty()) continue;
+      Task* t = os.held.top();
+      os.held.pop();
+      held_keys_.erase(Key{t->at, t->id});
+      os.busy = true;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        inflight_.emplace(Key{t->at, t->id}, t);
+      }
+      Worker& w = *workers_[t->owner % worker_count_];
+      {
+        std::lock_guard<std::mutex> lk(w.m);
+        w.q.push_back(t);
+      }
+      w.cv.notify_one();
+      progressed = true;
+    }
+    ready_.clear();
+
+    // --- publish the head (oldest uncommitted event) for the RNG gate.
+    // From here until that event commits, the scheduler creates no new
+    // events, so the published key cannot be undercut. ---
+    {
+      TimeNs at;
+      std::uint64_t id;
+      NodeId owner;
+      Key h{};
+      bool have = false;
+      if (sim_->queue_.peek_next(at, id, owner)) {
+        h = Key{at, id};
+        have = true;
+      }
+      if (!held_keys_.empty() &&
+          (!have || *held_keys_.begin() < h)) {
+        h = *held_keys_.begin();
+        have = true;
+      }
+      std::lock_guard<std::mutex> lk(m_);
+      if (!inflight_.empty() &&
+          (!have || inflight_.begin()->first < h)) {
+        h = inflight_.begin()->first;
+        have = true;
+      }
+      if (have != head_valid_ || (have && !(head_key_ == h))) {
+        head_valid_ = have;
+        head_key_ = h;
+        if (rng_waiters_ > 0) cv_rng_.notify_all();
+      }
+    }
+
+    // --- barrier / completion checks ---
+    bool inflight_empty;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      inflight_empty = inflight_.empty();
+    }
+    if (inflight_empty && held_keys_.empty()) {
+      TimeNs at;
+      std::uint64_t id;
+      NodeId owner;
+      if (!sim_->queue_.peek_next(at, id, owner)) break;  // drained
+      if (at > deadline) break;
+      if (owner == kNoNode) {
+        // Every earlier event has committed: safe to run a control event
+        // that may mutate anything (crash, restart, disk fault).
+        LYRA_ASSERT(executed < max_events,
+                    "event budget exhausted: livelock or unbounded protocol");
+        EventQueue::Popped p;
+        sim_->queue_.pop_next(p);
+        LYRA_ASSERT(!p.is_delivery, "delivery events always have an owner");
+        sim_->now_ = p.at;
+        p.fn();
+        ++executed;
+        continue;
+      }
+      continue;  // the next refill pass will pop it
+    }
+
+    if (!progressed) {
+      // The oldest in-flight task may still be QUEUED behind another task
+      // on its worker's FIFO (one worker serves many owners) — and that
+      // earlier task may be blocked in the RNG gate, which only admits the
+      // oldest uncommitted event. Steal the head from the worker queue and
+      // run it inline: the head is always safe to execute, and committing
+      // it is the only way a gate-blocked worker ever gets admitted.
+      Task* head = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        LYRA_ASSERT(!inflight_.empty(),
+                    "scheduler idle with no task in flight");
+        if (!inflight_.begin()->second->done.load(
+                std::memory_order_acquire)) {
+          head = inflight_.begin()->second;
+        }
+      }
+      if (head != nullptr) {
+        Worker& w = *workers_[head->owner % worker_count_];
+        bool stolen = false;
+        {
+          std::lock_guard<std::mutex> lk(w.m);
+          auto it = std::find(w.q.begin(), w.q.end(), head);
+          if (it != w.q.end()) {
+            w.q.erase(it);
+            stolen = true;
+          }
+        }
+        if (stolen) {
+          execute(head);
+          head->done.store(true, std::memory_order_release);
+          continue;  // the commit phase picks it up
+        }
+      }
+      // The head is genuinely executing; sleep until it finishes (only its
+      // completion unlocks the next commit).
+      std::unique_lock<std::mutex> lk(m_);
+      sched_waiting_ = true;
+      cv_sched_.wait(lk, [&] {
+        return !inflight_.empty() &&
+               inflight_.begin()->second->done.load(
+                   std::memory_order_acquire);
+      });
+      sched_waiting_ = false;
+    }
+  }
+  LYRA_ASSERT(held_keys_.empty() && cancelled_popped_.empty(),
+              "parallel run finished with events still held");
+  return executed;
+}
+
+}  // namespace lyra::sim

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/message.hpp"
+#include "support/types.hpp"
+
+namespace lyra::sim {
+
+class Process;
+class Simulation;
+class Transport;
+
+/// One engine side-effect recorded while a handler runs on a worker
+/// thread, replayed on the scheduler thread when the event commits.
+/// Handlers never touch shared engine state directly: everything they
+/// would do to it is captured here, in call order.
+struct Effect {
+  enum class Kind : std::uint8_t {
+    kSend,             // transport->send(from, to, payload)
+    kSendAll,          // transport->send_all(from, payload)
+    kSetTimer,         // proc arms timer `token` with `delay`, callback fn
+    kCancelTimer,      // proc cancels timer `token`
+    kSchedulePump,     // proc schedules its inbox pump at time `t`
+    kTrace,            // trace record (text_a = category, text_b = text)
+    kDeliveryDropped,  // delivery resolved to a vacant (crashed) slot
+  };
+  Kind kind = Kind::kSend;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  TimeNs t = 0;  // kSetTimer: delay; kSchedulePump: absolute time
+  std::uint64_t token = 0;
+  Process* proc = nullptr;
+  Transport* transport = nullptr;
+  PayloadPtr payload;
+  EventQueue::Callback fn;
+  std::string text_a, text_b;
+};
+
+namespace internal {
+/// Effect log of the event currently executing on this worker thread;
+/// nullptr on the scheduler thread and in serial mode. Process diverts its
+/// engine calls here when set.
+extern thread_local std::vector<Effect>* t_effect_log;
+}  // namespace internal
+
+inline std::vector<Effect>* current_effect_log() {
+  return internal::t_effect_log;
+}
+
+/// Deterministic parallel executor: shard workers + in-order commit.
+///
+/// The scheduler (calling) thread keeps sole ownership of the event queue
+/// and every piece of global engine state. It pops events in global
+/// (time, id) order into per-owner holding heaps, dispatches each owner's
+/// oldest event to a worker (owner % workers) — at most one in-flight
+/// event per owner — and commits finished events in exactly the global
+/// order by replaying their recorded effects (sends, timers, traces). A
+/// handler therefore runs concurrently with other owners' handlers, but
+/// every engine mutation, event id, and RNG draw happens on the scheduler
+/// thread in the serial schedule's order: a parallel run is bit-identical
+/// to the serial one.
+///
+/// Safety of eager dispatch rests on the lookahead bound L (a lower bound
+/// on every message delay): only events earlier than W + L are popped,
+/// where W is the oldest uncommitted time, and committing an event at time
+/// >= W can only create deliveries at >= W + L — never before a dispatched
+/// event. Same-owner creations (timers, pumps, self-sends) are ordered by
+/// the one-in-flight-per-owner rule: an owner's next event is dispatched
+/// only after its previous one committed, and the queue is drained into
+/// the holding heaps between commit and dispatch, so late same-owner
+/// insertions are seen before the owner runs again.
+///
+/// Ownerless events (harness control: crashes, restarts, disk faults) act
+/// as barriers: they run inline on the scheduler once every earlier event
+/// has committed, so they may mutate anything.
+///
+/// Hosts without usable parallelism (hardware_concurrency() <= 1, e.g. a
+/// single-core CI container) get an inline mode: no worker threads are
+/// spawned and the scheduler executes every task itself, in exact global
+/// order, through the same effect-log/commit machinery. Dispatching real
+/// threads there can only lose (each handoff is a context switch), so the
+/// engine degrades to serial speed plus the effect-log overhead instead.
+/// LYRA_PARALLEL_INLINE=0/1 overrides the automatic choice (used by the
+/// equivalence tests to pin both paths regardless of the host).
+class ParallelExecutor {
+ public:
+  /// `workers` >= 1 worker threads (the scheduler thread is not counted).
+  ParallelExecutor(Simulation* sim, unsigned workers, TimeNs lookahead);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Runs every event with time <= deadline; returns the count executed.
+  /// On return the holding tiers are empty — only events beyond the
+  /// deadline remain, all still in the event queue — so serial and
+  /// parallel runs may be freely interleaved.
+  std::uint64_t run(TimeNs deadline, std::uint64_t max_events);
+
+  /// Scheduler-thread cancellation that also reaches events already popped
+  /// into the holding tier (the queue no longer knows their ids).
+  void cancel_event(std::uint64_t id);
+
+  /// Blocks the calling worker until its event is the oldest uncommitted
+  /// one, making protocol RNG draws happen in serial order. The oldest
+  /// in-flight event never blocks, so progress is guaranteed.
+  void await_rng_turn();
+
+ private:
+  struct Task {
+    TimeNs at = 0;
+    std::uint64_t id = 0;
+    NodeId owner = kNoNode;
+    bool is_delivery = false;
+    EventQueue::Callback fn;
+    Envelope env;
+    ProcessDirectory* dir = nullptr;
+    std::atomic<bool> done{false};
+    std::vector<Effect> effects;
+  };
+  /// Min-order on (at, id) for the per-owner holding heaps.
+  struct TaskAfter {
+    bool operator()(const Task* a, const Task* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->id > b->id;
+    }
+  };
+  using Key = std::pair<TimeNs, std::uint64_t>;
+
+  struct OwnerState {
+    bool busy = false;  // has a dispatched, not-yet-committed event
+    std::priority_queue<Task*, std::vector<Task*>, TaskAfter> held;
+  };
+
+  struct Worker {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Task*> q;
+    std::thread thread;
+  };
+
+  void ensure_workers();
+  void worker_main(Worker& w);
+  void execute(Task* t);
+
+  /// Single-threaded drive of the same task/effect pipeline (inline mode).
+  std::uint64_t run_inline(TimeNs deadline, std::uint64_t max_events);
+
+  /// Replays a committed task's effects with the clock at its time.
+  void apply(Task* t);
+
+  Task* acquire_task();
+  void recycle(Task* t);
+
+  OwnerState& owner_state(NodeId owner);
+
+  Simulation* sim_;
+  const unsigned worker_count_;
+  const TimeNs lookahead_;
+  const bool inline_mode_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool workers_started_ = false;
+  std::atomic<bool> stop_{false};
+
+  // Scheduler-thread state (no lock): holding heaps, free list, cancels.
+  std::vector<OwnerState> owners_;
+  /// Keys of every held (popped, undispatched) task: its minimum joins the
+  /// window base W alongside the oldest in-flight and queue-front keys.
+  std::set<Key> held_keys_;
+  std::vector<NodeId> ready_;  // owners to consider at the dispatch step
+  std::unordered_set<std::uint64_t> cancelled_popped_;
+  std::vector<std::unique_ptr<Task>> task_pool_;
+  std::vector<Task*> task_free_;
+
+  // Shared state under m_: the in-flight (dispatched, uncommitted) tasks
+  // and the two wait channels.
+  std::mutex m_;
+  std::condition_variable cv_sched_;  // workers -> scheduler: task done
+  std::condition_variable cv_rng_;    // scheduler -> workers: head advanced
+  std::map<Key, Task*> inflight_;
+  int rng_waiters_ = 0;
+  bool sched_waiting_ = false;
+  /// Key of the oldest uncommitted event, republished by the scheduler
+  /// once per loop pass. The RNG gate admits exactly the worker holding
+  /// this key; between publication and that event's commit the scheduler
+  /// creates no events, so the head cannot be undercut.
+  bool head_valid_ = false;
+  Key head_key_{};
+};
+
+}  // namespace lyra::sim

@@ -18,18 +18,23 @@ namespace lyra::support {
 /// the message path at all. Requests beyond the largest class fall back to
 /// operator new.
 ///
-/// Single-threaded by design, like the simulator itself: no locks, no
-/// atomics. Do not share pooled objects across threads.
+/// Lock-free by construction: each thread owns its own arena (global() is
+/// thread-local), so allocation never contends. A block may be freed on a
+/// different thread than it was carved on — it simply joins the freeing
+/// thread's free list, which is safe because slabs are never returned to
+/// the heap. live_blocks() is therefore a per-thread balance that can go
+/// negative on threads that net-release.
 class Arena {
  public:
   static constexpr std::size_t kGranule = 16;
   static constexpr std::size_t kMaxBlock = 1024;
 
-  /// The process-wide arena. Never destroyed (payloads held by
-  /// static-lifetime objects may outlive any static arena member); the
-  /// slabs stay reachable, so leak checkers stay quiet.
+  /// This thread's arena. Never destroyed (payloads held by
+  /// static-lifetime objects may outlive any static arena member, and
+  /// blocks migrate between threads); the slabs stay reachable, so leak
+  /// checkers stay quiet.
   static Arena& global() {
-    static Arena* arena = new Arena();
+    static thread_local Arena* arena = new Arena();
     return *arena;
   }
 
@@ -59,8 +64,8 @@ class Arena {
 
   /// Blocks carved from slabs so far (monotone: recycling never carves).
   std::size_t blocks_carved() const { return carved_; }
-  /// Pooled blocks currently handed out.
-  std::size_t live_blocks() const { return live_; }
+  /// Pooled blocks handed out minus blocks returned, on this thread.
+  std::int64_t live_blocks() const { return live_; }
   /// Total slab bytes reserved from the general heap.
   std::size_t bytes_reserved() const { return slabs_.size() * kSlabBytes; }
 
@@ -84,7 +89,7 @@ class Arena {
   std::vector<std::unique_ptr<std::byte[]>> slabs_;
   std::array<std::vector<void*>, kClasses> free_;
   std::size_t carved_ = 0;
-  std::size_t live_ = 0;
+  std::int64_t live_ = 0;
 };
 
 /// Minimal std allocator over Arena::global(). All instances compare

@@ -168,6 +168,102 @@ TEST(ClientPool, ResubmitTimeoutRecoversLostSubmission) {
   EXPECT_GE(pool.latency_ms().max(), 50.0);
 }
 
+/// Acknowledges every submission except the ones whose 1-based arrival
+/// index is in `drop_indices` — for staggered-wave scenarios where a LATER
+/// wave is the one that gets lost.
+class SelectiveDropTarget final : public sim::Process {
+ public:
+  SelectiveDropTarget(sim::Simulation* sim, sim::Transport* t, NodeId id,
+                      std::vector<std::uint64_t> drop_indices)
+      : Process(sim, t, id), drop_(std::move(drop_indices)) {}
+
+  std::uint64_t submissions_seen = 0;
+
+ protected:
+  void on_message(const sim::Envelope& env) override {
+    const auto* submit = sim::payload_as<core::SubmitMsg>(env);
+    if (submit == nullptr) return;
+    ++submissions_seen;
+    for (std::uint64_t idx : drop_)
+      if (idx == submissions_seen) return;
+    auto notify = sim::make_payload<core::CommitNotifyMsg>();
+    notify->count = submit->count;
+    notify->submitted_at = submit->submitted_at;
+    send(env.from, std::move(notify));
+  }
+
+ private:
+  std::vector<std::uint64_t> drop_;
+};
+
+TEST(ClientPool, RetryOfLateWaveIsNotDelayedByEarlierTimerPhase) {
+  // Regression: the resubmit timer used to be a fixed-period timer armed
+  // when the FIRST wave was submitted. A wave submitted shortly after the
+  // arming instant was not yet due at the first firing and then waited a
+  // full extra period — a worst case of ~2x the resubmit timeout. The
+  // timer must instead track the earliest outstanding deadline, bounding
+  // every retry by resubmit_timeout_ + one scheduling quantum.
+  sim::Simulation sim(1);
+  FixedDelayTransport transport(&sim, ms(1), 2);
+  // Wave 1 (submitted at 10ms) is acked; wave 2 — the closed-loop
+  // follow-up submitted at ~12ms, while the timer armed at 10ms is still
+  // pending — is dropped.
+  SelectiveDropTarget target(&sim, &transport, 0, {2});
+  client::ClientPool pool(&sim, &transport, 1, 0, 20, ms(10), 0, ms(1000));
+  pool.set_resubmit_timeout(ms(50));
+  transport.attach(&target);
+  transport.attach(&pool);
+  target.on_start();
+  pool.on_start();
+  sim.run_until(ms(1000));
+
+  EXPECT_GE(pool.resubmissions(), 1u);
+  EXPECT_GT(pool.committed_total(), 20u);
+  // Wave 2's commit latency = retry delay + 2ms round trip, measured from
+  // its first attempt. With the earliest-deadline timer the retry fires
+  // exactly resubmit_timeout_ after the wave's submission; the fixed-period
+  // timer put it near 100ms. One transport RTT of slack is the "scheduling
+  // quantum" allowance.
+  ASSERT_GT(pool.latency_ms().count(), 0u);
+  EXPECT_LE(pool.latency_ms().max(), 50.0 + 2.0 + 2.0);
+  EXPECT_GE(pool.latency_ms().max(), 50.0);
+}
+
+TEST(ClientPool, EarlierDeadlineRearmsThePendingTimer) {
+  // Mirror case: the armed timer targets a LATE deadline (the only
+  // outstanding wave was just retried) and a brand-new wave appears with
+  // an earlier one. Arming must re-aim the pending timer, not keep it.
+  sim::Simulation sim(1);
+  FixedDelayTransport transport(&sim, ms(1), 2);
+  // Submission 1 (wave A at 10ms) dropped; retry at 60ms dropped too, so
+  // the timer is re-armed for 110ms. Submission 3 is wave A's second
+  // retry at 110ms, acked at 112ms; the follow-up wave B submitted at
+  // 112ms is dropped (submission 4) and must be retried at 162ms, not
+  // wait until wave A's cadence would have fired.
+  SelectiveDropTarget target(&sim, &transport, 0, {1, 2, 4});
+  client::ClientPool pool(&sim, &transport, 1, 0, 20, ms(10), 0, ms(1000));
+  pool.set_resubmit_timeout(ms(50));
+  transport.attach(&target);
+  transport.attach(&pool);
+  target.on_start();
+  pool.on_start();
+  sim.run_until(ms(1000));
+
+  EXPECT_GE(pool.resubmissions(), 3u);
+  EXPECT_GT(pool.committed_total(), 20u);
+  // Wave A legitimately costs ~102ms (two lost attempts). Wave B lost ONE
+  // attempt, so it must land near one timeout (~52ms); with the stale
+  // fixed-period timer it came in near ~100ms. Hence: exactly one sample
+  // (wave A) may exceed timeout + one RTT of quantum slack.
+  ASSERT_GE(pool.latency_ms().count(), 2u);
+  std::size_t over_one_timeout = 0;
+  for (double v : pool.latency_ms().values()) {
+    if (v > 50.0 + 2.0 + 2.0) ++over_one_timeout;
+  }
+  EXPECT_EQ(over_one_timeout, 1u);
+  EXPECT_LE(pool.latency_ms().max(), 100.0 + 2.0 + 2.0);
+}
+
 TEST(ClientPool, ResubmitTimerIsQuietOnHealthyCluster) {
   harness::LyraCluster cluster(pool_options(4));
   auto& pool = cluster.add_client_pool(0, 20, ms(40), ms(60), ms(900));

@@ -1,0 +1,249 @@
+// Parallel-executor equivalence: running the simulator with --threads N
+// must be observably identical to the serial run — same trace, same
+// ledgers, same client statistics — for any N. These scenarios run with
+// the topology's default jitter so the net RNG stream is exercised (the
+// pinned-golden determinism tests deliberately keep jitter at 0; here we
+// compare runs of one binary against each other, so libm is fine).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/lyra_cluster.hpp"
+#include "harness/pompe_cluster.hpp"
+#include "support/hex.hpp"
+
+namespace lyra {
+namespace {
+
+/// Pins the executor to one of its two paths for the test's duration. On
+/// a single-core host the executor auto-selects inline mode, which would
+/// silently skip the worker-thread machinery these tests exist to check —
+/// so the thread-path tests force LYRA_PARALLEL_INLINE=0 and one test
+/// forces =1 to keep the inline path covered on many-core hosts too.
+class ScopedExecutorMode {
+ public:
+  explicit ScopedExecutorMode(bool inline_mode) {
+    const char* prev = std::getenv("LYRA_PARALLEL_INLINE");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("LYRA_PARALLEL_INLINE", inline_mode ? "1" : "0", 1);
+  }
+  ~ScopedExecutorMode() {
+    if (had_prev_) {
+      setenv("LYRA_PARALLEL_INLINE", prev_.c_str(), 1);
+    } else {
+      unsetenv("LYRA_PARALLEL_INLINE");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+/// Everything observable about a finished run, folded into one digest plus
+/// the raw client-side numbers (kept separate so a mismatch names the
+/// metric instead of just "digest differs").
+struct RunFingerprint {
+  std::string digest;
+  std::uint64_t events = 0;
+  std::uint64_t committed_total = 0;
+  std::uint64_t committed_in_window = 0;
+  std::vector<double> latencies_ms;
+
+  bool operator==(const RunFingerprint& o) const {
+    return digest == o.digest && events == o.events &&
+           committed_total == o.committed_total &&
+           committed_in_window == o.committed_in_window &&
+           latencies_ms == o.latencies_ms;
+  }
+};
+
+harness::LyraClusterOptions lyra_options(std::uint64_t seed,
+                                         unsigned threads) {
+  harness::LyraClusterOptions opts;
+  opts.config.n = 4;
+  opts.config.f = 1;
+  opts.config.delta = ms(2);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 10;
+  opts.config.batch_timeout = ms(5);
+  opts.config.heartbeat_period = ms(3);
+  opts.config.commit_poll = ms(1);
+  opts.config.probe_period = ms(3);
+  opts.config.clock_offset_spread = us(200);
+  opts.topology = net::single_region(5);  // node slots + one client pool
+  opts.seed = seed;
+  opts.threads = threads;
+  return opts;
+}
+
+RunFingerprint lyra_fingerprint(std::uint64_t seed, unsigned threads) {
+  harness::LyraCluster cluster(lyra_options(seed, threads));
+  cluster.simulation().trace().enable(true);
+  auto& pool = cluster.add_client_pool(/*target=*/0, /*width=*/20,
+                                       /*start_at=*/ms(40),
+                                       /*measure_from=*/ms(100),
+                                       /*measure_to=*/ms(800));
+  cluster.start();
+  const std::uint64_t events = cluster.run_for(ms(800));
+
+  crypto::Hasher h;
+  for (const sim::TraceEvent& ev : cluster.simulation().trace().events()) {
+    h.add_str("ev").add_i64(ev.at).add_u32(ev.node).add_str(ev.category)
+        .add_str(ev.text);
+  }
+  for (NodeId i = 0; i < 4; ++i) {
+    h.add_str("ledger").add_u32(i);
+    for (const core::CommittedBatch& cb : cluster.node(i).ledger()) {
+      h.add_i64(cb.seq).add(cb.cipher_id).add_u32(cb.tx_count)
+          .add_i64(cb.committed_at).add_i64(cb.revealed_at);
+    }
+  }
+  RunFingerprint fp;
+  fp.digest = to_hex(h.digest());
+  fp.events = events;
+  fp.committed_total = pool.committed_total();
+  fp.committed_in_window = pool.committed_in_window();
+  fp.latencies_ms = pool.latency_ms().values();
+  return fp;
+}
+
+TEST(ParallelEquivalence, LyraMatchesSerialAtEveryThreadCount) {
+  ScopedExecutorMode threads_mode(/*inline_mode=*/false);
+  const RunFingerprint serial = lyra_fingerprint(21, 1);
+  ASSERT_GT(serial.committed_total, 0u);
+  for (unsigned threads : {2u, 4u}) {
+    const RunFingerprint parallel = lyra_fingerprint(21, threads);
+    EXPECT_EQ(parallel.digest, serial.digest) << "threads=" << threads;
+    EXPECT_EQ(parallel.events, serial.events) << "threads=" << threads;
+    EXPECT_EQ(parallel.committed_total, serial.committed_total);
+    EXPECT_EQ(parallel.committed_in_window, serial.committed_in_window);
+    EXPECT_EQ(parallel.latencies_ms, serial.latencies_ms)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalence, InlineFallbackMatchesSerial) {
+  // The single-core degradation path: same effect-log pipeline, no
+  // workers. Must produce the very same results as serial and as the
+  // threaded executor.
+  const RunFingerprint serial = lyra_fingerprint(21, 1);
+  ScopedExecutorMode inline_mode(/*inline_mode=*/true);
+  const RunFingerprint inlined = lyra_fingerprint(21, 4);
+  ASSERT_GT(serial.committed_total, 0u);
+  EXPECT_TRUE(inlined == serial);
+}
+
+TEST(ParallelEquivalence, ParallelRunsAreReproducible) {
+  // Two parallel runs of the same seed must agree with each other, not
+  // just with serial: worker interleavings must never leak into results.
+  ScopedExecutorMode threads_mode(/*inline_mode=*/false);
+  const RunFingerprint a = lyra_fingerprint(22, 4);
+  const RunFingerprint b = lyra_fingerprint(22, 4);
+  ASSERT_GT(a.committed_total, 0u);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ParallelEquivalence, DifferentSeedsStillDiverge) {
+  ScopedExecutorMode threads_mode(/*inline_mode=*/false);
+  EXPECT_NE(lyra_fingerprint(23, 4).digest, lyra_fingerprint(24, 4).digest);
+}
+
+TEST(ParallelEquivalence, CrashRestartAndStateSyncMatchSerial) {
+  ScopedExecutorMode threads_mode(/*inline_mode=*/false);
+  // The crash/restart/wipe callbacks are ownerless events, i.e. barriers
+  // in the parallel executor: the window must drain, the callback runs on
+  // the scheduler, and execution resumes — all invisible in the results.
+  // The wiped disk forces a full peer state transfer on restart.
+  auto run = [](unsigned threads) {
+    auto opts = lyra_options(31, threads);
+    opts.durable_storage = true;
+    opts.state_sync = true;
+    opts.config.retain_payloads = true;
+    opts.journal.snapshot_every_committed = 2;
+    harness::LyraCluster cluster(opts);
+    cluster.simulation().trace().enable(true);
+    cluster.add_client_pool(0, 20, ms(40), ms(100), ms(800));
+    cluster.schedule_crash_restart(/*id=*/2, /*crash_at=*/ms(120),
+                                   /*restart_at=*/ms(300));
+    cluster.simulation().schedule_at(ms(200),
+                                     [&cluster] { cluster.wipe_disk(2); });
+    cluster.start();
+    const std::uint64_t events = cluster.run_for(ms(800));
+
+    crypto::Hasher h;
+    for (const sim::TraceEvent& ev : cluster.simulation().trace().events()) {
+      h.add_str("ev").add_i64(ev.at).add_u32(ev.node).add_str(ev.category)
+          .add_str(ev.text);
+    }
+    for (NodeId i = 0; i < 4; ++i) {
+      if (!cluster.node_alive(i)) continue;
+      h.add_str("ledger").add_u32(i);
+      for (const core::CommittedBatch& cb : cluster.node(i).ledger()) {
+        h.add_i64(cb.seq).add(cb.cipher_id).add_u32(cb.tx_count)
+            .add_i64(cb.committed_at).add_i64(cb.revealed_at);
+      }
+    }
+    const statesync::StateSyncStats sync = cluster.statesync_totals();
+    h.add_str("sync").add_u64(sync.syncs_completed)
+        .add_u64(sync.chunks_fetched).add_u64(sync.bytes_transferred)
+        .add_u64(sync.entries_installed).add_u64(sync.catchup_reveals);
+    h.add_str("restart")
+        .add_u64(static_cast<std::uint64_t>(
+            cluster.recovery_info(2).outcome ==
+            harness::RestartOutcome::kStateSync))
+        .add_u64(cluster.restarts()).add_u64(events);
+    return to_hex(h.digest());
+  };
+
+  const std::string serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+}
+
+TEST(ParallelEquivalence, PompeMatchesSerial) {
+  ScopedExecutorMode threads_mode(/*inline_mode=*/false);
+  auto run = [](unsigned threads) {
+    harness::PompeClusterOptions opts;
+    opts.config.n = 4;
+    opts.config.f = 1;
+    opts.config.delta = ms(2);
+    opts.config.batch_size = 10;
+    opts.config.batch_timeout = ms(5);
+    opts.config.clock_offset_spread = us(200);
+    opts.topology = net::single_region(5);
+    opts.seed = 41;
+    opts.threads = threads;
+    harness::PompeCluster cluster(opts);
+    cluster.simulation().trace().enable(true);
+    cluster.add_client_pool(0, 20, ms(40), ms(100), ms(800));
+    cluster.start();
+    const std::uint64_t events = cluster.run_for(ms(800));
+
+    crypto::Hasher h;
+    for (const sim::TraceEvent& ev : cluster.simulation().trace().events()) {
+      h.add_str("ev").add_i64(ev.at).add_u32(ev.node).add_str(ev.category)
+          .add_str(ev.text);
+    }
+    for (NodeId i = 0; i < 4; ++i) {
+      h.add_str("ledger").add_u32(i);
+      for (const pompe::PompeCommitted& pc : cluster.node(i).ledger()) {
+        h.add_i64(pc.assigned_ts).add(pc.batch_digest).add_u32(pc.tx_count)
+            .add_i64(pc.committed_at).add_u64(pc.block_height);
+      }
+    }
+    h.add_u64(events);
+    return to_hex(h.digest());
+  };
+
+  const std::string serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+}
+
+}  // namespace
+}  // namespace lyra

@@ -204,6 +204,66 @@ TEST(EventQueue, CallbackSlabRecyclesSlotsIncludingCancelled) {
   EXPECT_EQ(ran, 501);
 }
 
+TEST(EventQueue, CancelAfterFireDoesNotAccumulateTombstones) {
+  // Regression: cancel() used to blindly insert every id into the
+  // cancelled set. Ids of timers that had already fired (the common
+  // cancel-on-completion pattern: a response arrives, the guard timer is
+  // cancelled) could never be popped off the heap again, so the set grew
+  // without bound over the run.
+  EventQueue q;
+  TimeNs t = 0;
+  int ran = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto id = q.schedule_at(t += us(10), [&] { ++ran; });
+    q.run_next();
+    q.cancel(id);  // fired already: must be a no-op, not a tombstone
+  }
+  EXPECT_EQ(ran, 10000);
+  EXPECT_EQ(q.cancelled_pending(), 0u);
+  EXPECT_EQ(q.live_timer_count(), 0u);
+}
+
+TEST(EventQueue, CancelDeliveryIdIsNoop) {
+  // Delivery events are not cancellable (only the directory detach path
+  // drops them); cancelling a delivery's id must not leave a tombstone
+  // that suppresses or leaks anything.
+  EventQueue q;
+  RecordingDirectory dir;
+  // Ids come from one shared counter; the delivery's id is the successor
+  // of the timer id handed out just before it.
+  const auto timer_id = q.schedule_at(20, [] {});
+  q.schedule_delivery(10, &dir, envelope_to(0));
+  EXPECT_FALSE(q.cancel(timer_id + 1));
+  EXPECT_EQ(q.cancelled_pending(), 0u);
+  q.run_next();
+  EXPECT_EQ(dir.fired, (std::vector<NodeId>{0}));
+}
+
+TEST(EventQueue, CancelReportsWhetherEventWasLive) {
+  EventQueue q;
+  const auto id = q.schedule_at(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel: already dead
+  EXPECT_EQ(q.live_timer_count(), 0u);
+  // The single tombstone for the live cancel drains with the heap entry.
+  EXPECT_LE(q.cancelled_pending(), 1u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.cancelled_pending(), 0u);
+}
+
+TEST(EventQueue, LiveTimerCountTracksScheduleFireAndCancel) {
+  EventQueue q;
+  const auto a = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.live_timer_count(), 2u);
+  q.run_next();
+  EXPECT_EQ(q.live_timer_count(), 1u);
+  q.cancel(a);  // fired: no-op
+  EXPECT_EQ(q.live_timer_count(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(q.live_timer_count(), 0u);
+}
+
 TEST(EventQueue, CancelAfterRescheduleOnlyHitsTheOldId) {
   // A cancelled id must never suppress a different, live event that
   // happens to reuse the same slab slot.

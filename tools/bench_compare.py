@@ -14,7 +14,9 @@ Modes:
       Matches entries by name and prints candidate/baseline ratios for the
       chosen metric. Exits 1 when any ratio falls below --min-ratio, unless
       --advisory is set (warn, exit 0). When a file holds several runs, the
-      last one is used unless a label is named explicitly.
+      last one is used unless a label is named explicitly. Entries carry a
+      "threads" field (execution threads; absent = 1, the serial engine);
+      --threads N restricts the comparison to entries at that thread count.
 
   merge
       bench_compare.py --merge OUT.json IN1.json [IN2.json ...]
@@ -50,6 +52,11 @@ def pick_run(doc, path, label):
              f"(have: {', '.join(r.get('label', '?') for r in runs)})")
 
 
+def entry_threads(entry):
+    # Entries written before the parallel engine have no field: serial.
+    return int(entry.get("threads", 1))
+
+
 def compare(args):
     base_doc = load(args.baseline)
     cand_doc = load(args.candidate)
@@ -60,22 +67,32 @@ def compare(args):
     print(f"metric: {args.metric}   baseline: {base.get('label', '?')!r} "
           f"({args.baseline})   candidate: {cand.get('label', '?')!r} "
           f"({args.candidate})")
-    print(f"{'entry':<20} {'baseline':>14} {'candidate':>14} {'ratio':>8}")
+    print(f"{'entry':<20} {'thr':>4} {'baseline':>14} {'candidate':>14} "
+          f"{'ratio':>8}")
 
     worst = None
     compared = 0
     for entry in cand["entries"]:
         name = entry["name"]
+        threads = entry_threads(entry)
+        if args.threads is not None and threads != args.threads:
+            continue
         ref = base_by_name.get(name)
         if ref is None:
-            print(f"{name:<20} {'-':>14} {entry.get(args.metric, 0):>14.0f} "
-                  f"{'new':>8}")
+            print(f"{name:<20} {threads:>4} {'-':>14} "
+                  f"{entry.get(args.metric, 0):>14.0f} {'new':>8}")
+            continue
+        if entry_threads(ref) != threads:
+            print(f"{name:<20} {threads:>4} {'-':>14} "
+                  f"{entry.get(args.metric, 0):>14.0f} "
+                  f"{'thr-mismatch':>8}")
             continue
         b = float(ref.get(args.metric, 0.0))
         c = float(entry.get(args.metric, 0.0))
         ratio = c / b if b > 0 else float("inf")
         flag = "" if ratio >= args.min_ratio else "  << below min-ratio"
-        print(f"{name:<20} {b:>14.0f} {c:>14.0f} {ratio:>7.2f}x{flag}")
+        print(f"{name:<20} {threads:>4} {b:>14.0f} {c:>14.0f} "
+              f"{ratio:>7.2f}x{flag}")
         compared += 1
         if worst is None or ratio < worst:
             worst = ratio
@@ -124,6 +141,8 @@ def main():
                         "(default 0.9)")
     p.add_argument("--advisory", action="store_true",
                    help="report regressions but always exit 0")
+    p.add_argument("--threads", type=int, default=None,
+                   help="only compare entries with this thread count")
     p.add_argument("--baseline-label", default=None)
     p.add_argument("--candidate-label", default=None)
     args = p.parse_args()

@@ -37,6 +37,9 @@ void usage() {
       "  --silent=S                crash-faulty Lyra nodes (default 0)\n"
       "  --bandwidth-gbps=B        per-node egress (default 1.0)\n"
       "  --seed=S                  run seed (default 42)\n"
+      "  --threads=N               execution threads (default 1 = serial;\n"
+      "                            N > 1 runs the deterministic parallel\n"
+      "                            executor, identical results)\n"
       "  --no-obfuscation          disable Lyra's commit-reveal\n"
       "  --crash-node=N            crash node N mid-run (Lyra; repeatable)\n"
       "  --crash-at=T              crash time for the last --crash-node\n"
@@ -133,6 +136,13 @@ int main(int argc, char** argv) {
           std::strtod(value.c_str(), nullptr) * 125e6;
     } else if (parse_value(argc, argv, i, "--seed", value)) {
       config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--threads", value)) {
+      config.threads =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+      if (config.threads == 0) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
     } else if (parse_value(argc, argv, i, "--crash-node", value)) {
       RunConfig::CrashRestart cr;
       cr.node = static_cast<NodeId>(std::strtoul(value.c_str(), nullptr, 10));
@@ -218,11 +228,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("running %s: n=%zu f=%zu clients/node=%u batch=%zu "
-              "lambda=%.1fms duration=%.1fs seed=%llu\n",
+              "lambda=%.1fms duration=%.1fs seed=%llu threads=%u\n",
               harness::protocol_name(config.protocol), config.n, config.f(),
               config.clients_per_node, config.batch_size,
               to_ms(config.lambda), to_ms(config.duration) / 1000.0,
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed), config.threads);
   std::fflush(stdout);
 
   const auto result = run_experiment(config);
