@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "harness/experiment.hpp"
 
@@ -13,6 +16,24 @@ namespace lyra::bench {
 inline bool quick_mode() {
   const char* quick = std::getenv("LYRA_BENCH_QUICK");
   return quick != nullptr && quick[0] == '1';
+}
+
+/// LYRA_BENCH_MEMOIZE=1 turns on verification memoization in every figure
+/// bench (RunConfig::memoize_verify), for before/after comparisons under
+/// Byzantine re-presentation traffic.
+inline bool memoize_mode() {
+  const char* m = std::getenv("LYRA_BENCH_MEMOIZE");
+  return m != nullptr && m[0] == '1';
+}
+
+/// What the C++ runtime believes the host offers (0 = unknown).
+inline unsigned hw_concurrency() { return std::thread::hardware_concurrency(); }
+
+/// Online CPUs per the OS (what `nproc` prints); 0 if unavailable. Can
+/// differ from hw_concurrency() in containers with restricted cpusets.
+inline unsigned host_nproc() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 0;
 }
 
 /// Node counts of the paper's evaluation (§VI-C).
@@ -54,6 +75,14 @@ struct BenchEntry {
   double host_seconds = 0.0;     // wall-clock time of the event loop
   double sim_seconds = 0.0;      // simulated time covered
   double throughput_tps = 0.0;   // committed tx/s (sanity anchor)
+  // Host context the run was measured on: scaling numbers from a box with
+  // fewer cores than threads are not comparable to a wide one.
+  unsigned hw_concurrency = 0;   // std::thread::hardware_concurrency()
+  unsigned host_nproc = 0;       // online CPUs per the OS
+  // Parallel-executor hot-path ratios (0 for serial runs).
+  double locks_per_event = 0.0;
+  double notifies_per_event = 0.0;
+  double mean_batch_size = 0.0;
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -100,7 +129,12 @@ inline void write_bench_json(const std::string& path,
          ", \"events_per_sec\": " + json_num(e.events_per_sec) +
          ", \"host_seconds\": " + json_num(e.host_seconds) +
          ", \"sim_seconds\": " + json_num(e.sim_seconds) +
-         ", \"throughput_tps\": " + json_num(e.throughput_tps) + "}";
+         ", \"throughput_tps\": " + json_num(e.throughput_tps) +
+         ", \"hw_concurrency\": " + std::to_string(e.hw_concurrency) +
+         ", \"host_nproc\": " + std::to_string(e.host_nproc) +
+         ", \"locks_per_event\": " + json_num(e.locks_per_event) +
+         ", \"notifies_per_event\": " + json_num(e.notifies_per_event) +
+         ", \"mean_batch_size\": " + json_num(e.mean_batch_size) + "}";
     j += (i + 1 < entries.size()) ? ",\n" : "\n";
   }
   j += "      ]\n    }\n  ]\n}\n";

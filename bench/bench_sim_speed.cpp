@@ -42,9 +42,15 @@ bench::BenchEntry measure(const std::string& name, const RunConfig& cfg) {
           ? static_cast<double>(r.events_executed) / r.host_seconds
           : 0.0;
   e.throughput_tps = r.throughput_tps;
-  std::printf("%-14s %12llu %10.2f %14.0f %12.0f   %s\n", name.c_str(),
-              static_cast<unsigned long long>(e.events), e.host_seconds,
-              e.events_per_sec, e.throughput_tps,
+  e.hw_concurrency = bench::hw_concurrency();
+  e.host_nproc = bench::host_nproc();
+  e.locks_per_event = r.exec_stats.locks_per_event();
+  e.notifies_per_event = r.exec_stats.notifies_per_event();
+  e.mean_batch_size = r.exec_stats.mean_batch_size();
+  std::printf("%-14s %12llu %10.2f %14.0f %12.0f %9.3f %9.3f   %s\n",
+              name.c_str(), static_cast<unsigned long long>(e.events),
+              e.host_seconds, e.events_per_sec, e.throughput_tps,
+              e.locks_per_event, e.notifies_per_event,
               r.prefix_consistent ? "ok" : "VIOLATED");
   std::fflush(stdout);
   return e;
@@ -76,7 +82,7 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Simulator speed (fig3-style workload)",
       "scenario             events    host(s)       events/s         tx/s"
-      "   safety");
+      "   locks/ev notifies/ev   safety");
 
   std::vector<bench::BenchEntry> entries;
 
@@ -93,8 +99,7 @@ int main(int argc, char** argv) {
   // count. The engine guarantees identical results (the equivalence tests
   // pin that); what is being measured here is events/host-second scaling.
   const std::string base = quick ? "lyra_n31" : "lyra_n100";
-  for (unsigned threads : quick ? std::vector<unsigned>{2}
-                                : std::vector<unsigned>{2, 4}) {
+  for (unsigned threads : {2u, 4u}) {
     RunConfig cfg = lyra;
     cfg.threads = threads;
     entries.push_back(

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <deque>
+
 #include "lyra/lyra_node.hpp"
 
 namespace lyra::attacks {
@@ -91,6 +93,46 @@ class SelectiveInitLyraNode final : public core::LyraNode {
 
  private:
   std::size_t recipients_;
+};
+
+/// Re-presentation attacker: records every INIT it receives and, once
+/// correct processes have GC'd the decided instance (instance_gc_idle
+/// later), re-broadcasts the stored message wrapped in InitRelayMsg, over
+/// and over. Each replay carries an identical (proposer, value_id, sig)
+/// triple, so receivers re-enter the signature-verification path for work
+/// they have already done — the traffic Config::memoize_verification is
+/// built to absorb: with the memo cache on, repeats are cache hits and
+/// charge no crypto CPU; with it off, every replay costs a full verify.
+/// Ordering safety is unaffected either way (the stale predictions fail
+/// validation, so the re-joined instance just decides 0 again).
+class ReplayInitLyraNode final : public core::LyraNode {
+ public:
+  ReplayInitLyraNode(sim::Simulation* sim, net::Network* network, NodeId id,
+                     const core::Config& config,
+                     const crypto::KeyRegistry* registry,
+                     TimeNs replay_every = ms(20),
+                     std::size_t replay_burst = 8);
+
+  void on_start() override;
+
+  std::uint64_t replays_sent() const { return replays_; }
+
+ protected:
+  void on_message(const sim::Envelope& env) override;
+
+ private:
+  void replay_tick();
+
+  struct SeenInit {
+    TimeNs seen_at = 0;
+    std::shared_ptr<const core::InitMsg> init;
+  };
+
+  TimeNs replay_every_;
+  std::size_t replay_burst_;
+  std::deque<SeenInit> seen_;
+  std::size_t cursor_ = 0;  // rotates over the replayable prefix
+  std::uint64_t replays_ = 0;
 };
 
 /// Equivocating broadcaster: sends one INIT to even-numbered processes and

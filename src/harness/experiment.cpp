@@ -58,6 +58,7 @@ RunResult run_lyra(const RunConfig& config) {
   opts.config.batch_size = config.batch_size;
   opts.config.obfuscate = config.obfuscate;
   opts.config.max_outstanding_proposals = config.max_outstanding;
+  opts.config.memoize_verification = config.memoize_verify;
   // Flat host memory by default; serving reveal catch-up needs the bytes.
   opts.config.retain_payloads = config.wants_state_sync();
   opts.topology = benchmark_topology(config.n);
@@ -65,15 +66,21 @@ RunResult run_lyra(const RunConfig& config) {
   opts.threads = config.threads;
   opts.durable_storage = !config.crash_restarts.empty();
   opts.state_sync = config.wants_state_sync();
-  if (config.byzantine_silent > 0) {
+  if (config.byzantine_silent > 0 || config.replay_attackers > 0) {
     const std::size_t silent = config.byzantine_silent;
-    opts.node_factory = [silent](sim::Simulation* sim, net::Network* net,
-                                 NodeId id, const core::Config& cfg,
-                                 const crypto::KeyRegistry* reg)
+    const std::size_t replayers = config.replay_attackers;
+    opts.node_factory = [silent, replayers](
+                            sim::Simulation* sim, net::Network* net,
+                            NodeId id, const core::Config& cfg,
+                            const crypto::KeyRegistry* reg)
         -> std::unique_ptr<core::LyraNode> {
       if (id < silent) {
         return std::make_unique<attacks::SilentLyraNode>(sim, net, id, cfg,
                                                          reg);
+      }
+      if (id < silent + replayers) {
+        return std::make_unique<attacks::ReplayInitLyraNode>(sim, net, id,
+                                                             cfg, reg);
       }
       return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
     };
@@ -109,6 +116,7 @@ RunResult run_lyra(const RunConfig& config) {
   r.events_executed = executed;
   r.host_seconds = host_elapsed.count();
   r.sim_seconds = to_ms(config.duration) / 1000.0;
+  r.exec_stats = cluster.simulation().executor_stats();
   r.prefix_consistent = cluster.ledgers_prefix_consistent();
   r.late_accepts = cluster.total_late_accepts();
   r.restarts = cluster.restarts();
@@ -146,6 +154,12 @@ RunResult run_lyra(const RunConfig& config) {
     for (double v : stats.decide_rounds.values()) rounds.add(v);
     ok += stats.validations_ok;
     rejected += stats.validations_rejected;
+    r.verify_cache_hits += stats.verify_cache_hits;
+    r.verify_cache_misses += stats.verify_cache_misses;
+    if (const auto* rep = dynamic_cast<const attacks::ReplayInitLyraNode*>(
+            &cluster.node(i))) {
+      r.replays_sent += rep->replays_sent();
+    }
   }
   r.mean_decide_rounds = rounds.mean();
   r.max_decide_rounds = rounds.count() ? rounds.max() : 0.0;
@@ -163,6 +177,7 @@ RunResult run_pompe(const RunConfig& config) {
   opts.config.delta = ms(160);
   opts.config.batch_size = config.batch_size;
   opts.config.initial_leader = 0;  // Oregon
+  opts.config.memoize_verification = config.memoize_verify;
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
   opts.threads = config.threads;
@@ -183,9 +198,12 @@ RunResult run_pompe(const RunConfig& config) {
   r.events_executed = executed;
   r.host_seconds = host_elapsed.count();
   r.sim_seconds = to_ms(config.duration) / 1000.0;
+  r.exec_stats = cluster.simulation().executor_stats();
   r.prefix_consistent = cluster.ledgers_prefix_consistent();
   for (NodeId i = 0; i < config.n; ++i) {
     r.proof_verifications += cluster.node(i).stats().proof_verifications;
+    r.verify_cache_hits += cluster.node(i).stats().verify_cache_hits;
+    r.verify_cache_misses += cluster.node(i).stats().verify_cache_misses;
   }
   return r;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/executor_stats.hpp"
 #include "support/types.hpp"
 
 namespace lyra::harness {
@@ -33,6 +34,16 @@ struct RunConfig {
   bool obfuscate = true;                 // Lyra commit-reveal on/off
   std::size_t max_outstanding = 3;       // Lyra proposal pacing
   std::size_t byzantine_silent = 0;      // crash-faulty Lyra nodes
+
+  /// Byzantine re-presentation traffic (Lyra only): this many nodes run
+  /// the full protocol but also re-broadcast old INITs after correct
+  /// processes have GC'd them, forcing repeat signature verifications.
+  std::size_t replay_attackers = 0;
+
+  /// Cache verification verdicts by (signer, value, signature) identity so
+  /// re-presented Byzantine traffic verifies once (lyra::Config::
+  /// memoize_verification / PompeConfig::memoize_verification).
+  bool memoize_verify = false;
 
   /// Effective per-node egress (DESIGN.md: sustained cross-continent TCP
   /// goodput, not the NIC line rate).
@@ -76,6 +87,9 @@ struct RunResult {
   std::uint64_t events_executed = 0;
   double host_seconds = 0.0;  // wall-clock time of the event loop
   double sim_seconds = 0.0;   // simulated duration covered
+  /// Parallel-executor hot-path counters (all-zero for serial runs);
+  /// lyra_sim --stats and bench_sim_speed report the per-event ratios.
+  sim::ExecutorStats exec_stats;
 
   double mean_latency_ms = 0.0;
   double p50_latency_ms = 0.0;
@@ -88,6 +102,12 @@ struct RunResult {
   double max_decide_rounds = 0.0;        // Lyra only
   double validation_accept_rate = 1.0;   // Lyra only
   std::uint64_t proof_verifications = 0; // Pompē only
+
+  // Verification memoization (RunConfig::memoize_verify) and the replay
+  // traffic it absorbs; hits/misses stay zero with the cache off.
+  std::uint64_t verify_cache_hits = 0;
+  std::uint64_t verify_cache_misses = 0;
+  std::uint64_t replays_sent = 0;  // re-presented INITs (replay_attackers)
 
   // Crash-restart runs (empty schedule leaves these zero):
   std::uint64_t restarts = 0;

@@ -4,6 +4,12 @@
 
 namespace lyra::net {
 
+namespace {
+/// Separates the network's jitter-stream family from any other
+/// derive_stream consumer of the same root seed.
+constexpr std::uint64_t kJitterStreamSalt = 0x6e65746a69747472ULL;
+}  // namespace
+
 Network::Network(sim::Simulation* sim, std::unique_ptr<LatencyModel> latency,
                  std::size_t consensus_count)
     : sim_(sim),
@@ -11,6 +17,7 @@ Network::Network(sim::Simulation* sim, std::unique_ptr<LatencyModel> latency,
       consensus_count_(consensus_count) {
   LYRA_ASSERT(sim_ != nullptr, "network needs a simulation");
   LYRA_ASSERT(latency_ != nullptr, "network needs a latency model");
+  jitter_seed_ = derive_stream(sim_->seed(), kJitterStreamSalt, 0);
 }
 
 void Network::attach(sim::Process* process) {
@@ -53,12 +60,18 @@ void Network::deliver_one(NodeId from, NodeId to, sim::PayloadPtr payload,
   env.sent_at = sim_->now();
   env.payload = std::move(payload);
 
-  // Engine-internal stream: latency jitter and adversary draws must not
-  // perturb the handler-visible rng(), and under parallel execution they
-  // happen on the scheduler thread at commit time.
-  TimeNs delay = latency_->sample(from, to, sim_->net_rng());
+  // Sharded engine-internal stream: this message's latency and adversary
+  // draws come from a throwaway Rng whose seed depends only on
+  // (simulation seed, sender, sender's message ordinal). Besides keeping
+  // jitter out of the handler-visible rng(), this makes each sender's
+  // jitter sequence independent of every other sender's traffic — adding
+  // or removing one flow does not reshuffle the rest of the run the way a
+  // single shared stream would (docs/PERF.md §7).
+  if (jitter_counter_.size() <= from) jitter_counter_.resize(from + 1, 0);
+  Rng jitter(derive_stream(jitter_seed_, from, jitter_counter_[from]++));
+  TimeNs delay = latency_->sample(from, to, jitter);
   if (adversary_ != nullptr) {
-    delay = adversary_->delay(env, delay, sim_->net_rng());
+    delay = adversary_->delay(env, delay, jitter);
   }
   LYRA_ASSERT(delay >= 0, "negative message delay");
   delay += egress_delay;

@@ -90,6 +90,13 @@ class Network final : public sim::Transport, public sim::ProcessDirectory {
   Adversary* adversary_ = nullptr;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  /// Root of the per-sender jitter stream family (derived from the
+  /// simulation seed). Each message's latency and adversary draws come
+  /// from a throwaway Rng seeded by derive_stream(jitter_seed_, sender,
+  /// ordinal), where `ordinal` is that sender's message count — so one
+  /// sender's jitter sequence never depends on other senders' traffic.
+  std::uint64_t jitter_seed_;
+  std::vector<std::uint64_t> jitter_counter_;
   // FIFO floor per directed channel, keyed by (from << 32) | to.
   std::unordered_map<std::uint64_t, TimeNs> channel_floor_;
   double bandwidth_ = 0.0;  // bytes/sec; 0 = unlimited

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lyra::sim {
+
+/// Counters of the parallel executor's hot path, snapshotted after a run.
+/// The interesting derived numbers are per committed event: a healthy
+/// batched run takes far less than one lock acquisition and one condvar
+/// notify per event (the PR 5 one-event-per-handoff design paid ~9 locks
+/// and 1 notify per event at 4 threads; see docs/PERF.md §7).
+struct ExecutorStats {
+  // Commit side.
+  std::uint64_t tasks_committed = 0;   // owned events applied in order
+  std::uint64_t barrier_events = 0;    // ownerless events run inline
+
+  // Dispatch side.
+  std::uint64_t batches_dispatched = 0;
+  std::uint64_t tasks_dispatched = 0;  // sum of batch sizes
+  std::uint64_t batch_handbacks = 0;   // batches stopped early by a worker
+  std::uint64_t tasks_handed_back = 0;
+  std::uint64_t head_steals = 0;       // queued batches reclaimed for the head
+  std::uint64_t inbox_full_retries = 0;
+
+  // Locking / wakeups (both sides combined; the 10x criterion tracks
+  // these two against tasks_committed).
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t condvar_notifies = 0;
+  std::uint64_t worker_parks = 0;     // workers out of inbox work
+  std::uint64_t sched_parks = 0;      // scheduler waits for the head
+  double sched_idle_seconds = 0.0;    // wall time spent in those waits
+
+  // RNG turn gate.
+  std::uint64_t rng_gate_draws = 0;   // gated protocol draws on workers
+  std::uint64_t rng_gate_waits = 0;   // draws that had to block
+  std::uint64_t rng_gate_wakes = 0;   // targeted head-worker wakeups
+
+  double locks_per_event() const {
+    return tasks_committed ? static_cast<double>(lock_acquisitions) /
+                                 static_cast<double>(tasks_committed)
+                           : 0.0;
+  }
+  double notifies_per_event() const {
+    return tasks_committed ? static_cast<double>(condvar_notifies) /
+                                 static_cast<double>(tasks_committed)
+                           : 0.0;
+  }
+  double mean_batch_size() const {
+    return batches_dispatched
+               ? static_cast<double>(tasks_dispatched) /
+                     static_cast<double>(batches_dispatched)
+               : 0.0;
+  }
+};
+
+}  // namespace lyra::sim

@@ -124,13 +124,28 @@ void Process::apply_set_timer(TimerId token, TimeNs delay,
       sim_->schedule_in(delay,
                         [this, token, fn = std::move(fn)] {
                           // Drop the bookkeeping entry before running: fn
-                          // may re-arm a timer.
-                          live_timers_.erase(token);
+                          // may re-arm a timer. Under parallel execution
+                          // this lambda runs on a worker thread while the
+                          // scheduler may be committing another event's
+                          // set/cancel on the same map, so the erase must
+                          // go through the effect log like every other
+                          // engine mutation.
+                          if (auto* log = current_effect_log()) {
+                            Effect e;
+                            e.kind = Effect::Kind::kTimerFired;
+                            e.proc = this;
+                            e.token = token;
+                            log->push_back(std::move(e));
+                          } else {
+                            live_timers_.erase(token);
+                          }
                           fn();
                         },
                         id_);
   live_timers_.emplace(token, event_id);
 }
+
+void Process::apply_timer_fired(TimerId token) { live_timers_.erase(token); }
 
 void Process::cancel_timer(TimerId id) {
   if (auto* log = current_effect_log()) {

@@ -121,6 +121,7 @@ class Process {
   // the event queue lives on this side.
   void apply_set_timer(TimerId token, TimeNs delay, std::function<void()> fn);
   void apply_cancel_timer(TimerId token);
+  void apply_timer_fired(TimerId token);
   void apply_schedule_pump(TimeNs at);
 
   void schedule_pump();

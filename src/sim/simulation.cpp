@@ -19,7 +19,7 @@ constexpr std::uint64_t kNetStreamSalt = 0x9e3779b97f4a7c15ULL;
 }  // namespace
 
 Simulation::Simulation(std::uint64_t seed)
-    : rng_(seed), net_rng_(seed ^ kNetStreamSalt) {}
+    : seed_(seed), rng_(seed), net_rng_(seed ^ kNetStreamSalt) {}
 
 Simulation::~Simulation() = default;
 
@@ -46,6 +46,10 @@ void Simulation::set_parallelism(unsigned threads, TimeNs lookahead) {
 }
 
 void Simulation::await_rng_turn() { executor_->await_rng_turn(); }
+
+ExecutorStats Simulation::executor_stats() const {
+  return executor_ != nullptr ? executor_->stats() : ExecutorStats{};
+}
 
 std::uint64_t Simulation::run_until(TimeNs deadline) {
   if (threads_ > 1) {

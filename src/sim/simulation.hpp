@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "sim/event_queue.hpp"
+#include "sim/executor_stats.hpp"
 #include "sim/message.hpp"
 #include "sim/trace.hpp"
 #include "support/random.hpp"
@@ -92,6 +93,10 @@ class Simulation {
   void set_parallelism(unsigned threads, TimeNs lookahead);
   unsigned threads() const { return threads_; }
 
+  /// Hot-path counters of the parallel executor, accumulated across every
+  /// run_* call so far. All-zero when the run is serial (threads <= 1).
+  ExecutorStats executor_stats() const;
+
   /// Protocol randomness (handler context). In a parallel run a worker
   /// calling this blocks until its event is the oldest uncommitted one, so
   /// draws happen in exactly the serial order.
@@ -103,9 +108,18 @@ class Simulation {
     return rng_;
   }
 
-  /// Engine-internal randomness (latency jitter, adversary delays). Only
-  /// touched on the scheduler thread; never gated.
+  /// Engine-internal randomness (adversary schedules and other
+  /// engine-side draws). Only touched on the scheduler thread; never
+  /// gated. Latency jitter no longer draws from this shared stream — the
+  /// network derives per-sender counter-based streams from seed() instead,
+  /// so one sender's draw sequence does not depend on every other
+  /// sender's traffic.
   Rng& net_rng() { return net_rng_; }
+
+  /// The root seed this run was constructed with. Sharded consumers (the
+  /// network's per-sender jitter streams) derive their own streams from it
+  /// via derive_stream().
+  std::uint64_t seed() const { return seed_; }
 
   Trace& trace() { return trace_; }
 
@@ -116,6 +130,7 @@ class Simulation {
 
   EventQueue queue_;
   TimeNs now_ = 0;
+  std::uint64_t seed_;
   Rng rng_;
   Rng net_rng_;
   Trace trace_;

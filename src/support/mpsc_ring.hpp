@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace lyra {
+
+/// Bounded lock-free ring buffer (Vyukov's bounded MPMC queue). Used by the
+/// parallel executor as the scheduler→worker batch inbox (single producer,
+/// single consumer) and as the workers→scheduler completion channel (many
+/// producers, one consumer). Each cell carries a sequence number that
+/// encodes whether it is free for the producer or holds a value for the
+/// consumer, so push and pop touch no shared lock and contend only on
+/// their own position counter.
+///
+/// The ring is strictly bounded: try_push fails (returns false) on a full
+/// ring and try_pop fails on an empty one — callers own the backpressure
+/// policy. Capacity is rounded up to a power of two.
+///
+/// Memory ordering: a successful try_push(v) synchronizes-with the
+/// try_pop that returns v (release store of the cell sequence, acquire
+/// load on the consumer side), so everything written before the push is
+/// visible to the popper.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity) {
+    LYRA_ASSERT(capacity >= 2, "ring capacity must be at least 2");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer push. Returns false when the ring is full.
+  bool try_push(T value) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // Cell free at this position: claim it by advancing head.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: pos was reloaded, retry.
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed value: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);  // raced; reload
+      }
+    }
+  }
+
+  /// Single-consumer pop. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::int64_t diff = static_cast<std::int64_t>(seq) -
+                              static_cast<std::int64_t>(pos + 1);
+    if (diff < 0) return false;  // nothing published at tail yet
+    out = std::move(cell.value);
+    cell.value = T{};
+    // Mark the cell free for the producer one lap ahead.
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact for the single consumer: a false
+  /// return means a subsequent try_pop will succeed).
+  bool empty() const {
+    const std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t seq =
+        cells_[pos & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<std::int64_t>(seq) -
+               static_cast<std::int64_t>(pos + 1) < 0;
+  }
+
+  /// Racy size estimate (producers and the consumer may be mid-flight).
+  std::size_t size_approx() const {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    return h > t ? static_cast<std::size_t>(h - t) : 0;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines: producers only
+  // contend on head_, the consumer owns tail_.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace lyra

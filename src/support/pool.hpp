@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -31,10 +32,15 @@ class Arena {
 
   /// This thread's arena. Never destroyed (payloads held by
   /// static-lifetime objects may outlive any static arena member, and
-  /// blocks migrate between threads); the slabs stay reachable, so leak
-  /// checkers stay quiet.
+  /// blocks migrate between threads). Each arena is parked in a static
+  /// registry so it stays reachable after its thread exits — executor
+  /// worker arenas would otherwise read as leaks to leak checkers.
   static Arena& global() {
-    static thread_local Arena* arena = new Arena();
+    static thread_local Arena* arena = [] {
+      auto* a = new Arena();
+      registry(a);
+      return a;
+    }();
     return *arena;
   }
 
@@ -72,6 +78,15 @@ class Arena {
  private:
   static constexpr std::size_t kClasses = kMaxBlock / kGranule;
   static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  /// Root that keeps every thread's arena reachable forever. Touched once
+  /// per thread lifetime, so the lock is off every hot path.
+  static void registry(Arena* a) {
+    static std::mutex m;
+    static std::vector<Arena*>* arenas = new std::vector<Arena*>();
+    std::lock_guard<std::mutex> lk(m);
+    arenas->push_back(a);
+  }
 
   void refill(std::size_t cls) {
     const std::size_t block = (cls + 1) * kGranule;

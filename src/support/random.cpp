@@ -85,4 +85,14 @@ bool Rng::next_bernoulli(double p) { return next_double() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t a,
+                            std::uint64_t b) {
+  // Fold each coordinate in behind a full SplitMix64 round so adjacent
+  // (a, b) pairs land in unrelated parts of the stream space.
+  std::uint64_t x = seed;
+  x = splitmix64(x) ^ (a * 0xbf58476d1ce4e5b9ULL);
+  x = splitmix64(x) ^ (b * 0x94d049bb133111ebULL);
+  return splitmix64(x);
+}
+
 }  // namespace lyra

@@ -49,4 +49,13 @@ class Rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Derives a child-stream seed from a root seed and two stream coordinates
+/// (e.g. a sender id and that sender's draw ordinal) with three SplitMix64
+/// rounds. Unlike split(), the result depends only on the arguments — not
+/// on how many draws other streams made first — so shards can consume
+/// randomness in any interleaving and still be reproducible per
+/// (seed, coordinates).
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t a,
+                            std::uint64_t b);
+
 }  // namespace lyra

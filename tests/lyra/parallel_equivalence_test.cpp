@@ -116,7 +116,7 @@ TEST(ParallelEquivalence, LyraMatchesSerialAtEveryThreadCount) {
   ScopedExecutorMode threads_mode(/*inline_mode=*/false);
   const RunFingerprint serial = lyra_fingerprint(21, 1);
   ASSERT_GT(serial.committed_total, 0u);
-  for (unsigned threads : {2u, 4u}) {
+  for (unsigned threads : {2u, 4u, 8u}) {
     const RunFingerprint parallel = lyra_fingerprint(21, threads);
     EXPECT_EQ(parallel.digest, serial.digest) << "threads=" << threads;
     EXPECT_EQ(parallel.events, serial.events) << "threads=" << threads;
@@ -203,6 +203,7 @@ TEST(ParallelEquivalence, CrashRestartAndStateSyncMatchSerial) {
   const std::string serial = run(1);
   EXPECT_EQ(run(2), serial);
   EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(8), serial);
 }
 
 TEST(ParallelEquivalence, PompeMatchesSerial) {

@@ -80,5 +80,50 @@ TEST(Simulation, TraceIgnoredWhenDisabled) {
   EXPECT_TRUE(sim.trace().events().empty());
 }
 
+TEST(Simulation, CancelRacesBatchedDispatch) {
+  // Regression for the batched executor's cancel path: an ownerless event
+  // (a barrier, running on the scheduler) cancels owned events that by
+  // then sit in the executor's holding heaps or in a dispatched batch —
+  // including below other held events of the same owner, the deep-heap
+  // case a top-of-heap-only sweep would miss. The surviving execution
+  // schedule must be identical to the serial run's.
+  setenv("LYRA_PARALLEL_INLINE", "0", 1);
+  auto run = [](unsigned threads) {
+    Simulation sim(11);
+    if (threads > 1) sim.set_parallelism(threads, us(200));
+    constexpr NodeId kOwners = 3;
+    // Handlers run on workers, so each owner may only touch its own slot;
+    // per-owner execution is serialized by the executor.
+    std::vector<std::vector<TimeNs>> ran(kOwners);
+    std::vector<std::uint64_t> victims;
+    for (NodeId owner = 0; owner < kOwners; ++owner) {
+      for (int i = 0; i < 200; ++i) {
+        const TimeNs at = us(10 + 7 * i + owner);
+        const auto id = sim.schedule_at(
+            at, [&ran, owner, &sim] { ran[owner].push_back(sim.now()); },
+            owner);
+        // Victims straddle the barrier's lookahead horizon: some are
+        // already popped (held or dispatched) when the cancel runs, the
+        // rest still live in the event queue.
+        if (i % 5 == 3 && at > us(500)) victims.push_back(id);
+      }
+    }
+    sim.schedule_at(us(500), [&sim, &victims] {
+      for (std::uint64_t id : victims) sim.cancel(id);
+    });
+    sim.run_all();
+    return ran;
+  };
+
+  const auto serial = run(1);
+  std::size_t survivors = 0;
+  for (const auto& owner_ran : serial) survivors += owner_ran.size();
+  ASSERT_GT(survivors, 0u);
+  ASSERT_LT(survivors, 600u);  // some victims actually died
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+  unsetenv("LYRA_PARALLEL_INLINE");
+}
+
 }  // namespace
 }  // namespace lyra::sim

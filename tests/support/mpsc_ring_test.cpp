@@ -1,0 +1,120 @@
+#include "support/mpsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace lyra {
+namespace {
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpscRing, FifoThroughManyLaps) {
+  // Cell sequence numbers must keep working once positions lap the ring
+  // (the wraparound the mask + per-lap seq arithmetic exists for).
+  MpscRing<int> ring(8);
+  int expected = 0;
+  for (int lap = 0; lap < 100; ++lap) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.try_push(lap * 5 + i));
+    }
+    for (int i = 0; i < 5; ++i) {
+      int v = -1;
+      ASSERT_TRUE(ring.try_pop(v));
+      EXPECT_EQ(v, expected++);
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, FullRingRejectsPushUntilPopped) {
+  // Strict backpressure: a full ring fails try_push without blocking or
+  // overwriting, and frees exactly one slot per pop.
+  MpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_FALSE(ring.try_push(99));
+
+  int v = -1;
+  ASSERT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ring.try_push(4));
+  EXPECT_FALSE(ring.try_push(99));
+
+  std::vector<int> rest;
+  while (ring.try_pop(v)) rest.push_back(v);
+  EXPECT_EQ(rest, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(MpscRing, EmptyProbeIsConsumerExact) {
+  MpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  ASSERT_TRUE(ring.try_push(7));
+  EXPECT_FALSE(ring.empty());
+  int v = 0;
+  ASSERT_TRUE(ring.try_pop(v));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, ManyProducersOneConsumerDeliversEverythingOnce) {
+  // The executor's completion-channel shape: several workers pushing,
+  // the scheduler popping, with pushes retried on a full ring. Every
+  // value must arrive exactly once, and per producer in FIFO order.
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20'000;
+  MpscRing<std::uint64_t> ring(64);  // small: forces wraps and full states
+
+  std::vector<std::vector<std::uint64_t>> got(kProducers);
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    std::uint64_t v = 0;
+    while (received < kProducers * kPerProducer) {
+      if (ring.try_pop(v)) {
+        got[v >> 32].push_back(v & 0xffffffffu);
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!ring.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  for (unsigned p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(got[p].size(), kPerProducer) << "producer " << p;
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(got[p][i], i) << "producer " << p << " reordered";
+    }
+  }
+}
+
+TEST(MpscRing, MoveOnlyValuesTransferCleanly) {
+  MpscRing<std::unique_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(5)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 5);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+}  // namespace
+}  // namespace lyra

@@ -30,6 +30,7 @@ gate, but the ratio table in the log makes regressions visible at a glance.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -57,6 +58,29 @@ def entry_threads(entry):
     return int(entry.get("threads", 1))
 
 
+def scaling_efficiencies(run):
+    """events_per_sec(name_tN) / (N * events_per_sec(name)) per entry.
+
+    A threaded entry is named after its serial twin plus a _tN suffix
+    (bench_sim_speed's convention). 1.0 means perfect linear scaling over
+    the same run's serial entry; the value is capped by the host's cores
+    (entries record hw_concurrency/host_nproc for that context).
+    """
+    serial = {e["name"]: float(e.get("events_per_sec", 0.0))
+              for e in run["entries"] if entry_threads(e) == 1}
+    out = {}
+    for e in run["entries"]:
+        threads = entry_threads(e)
+        m = re.fullmatch(r"(.+)_t(\d+)", e["name"])
+        if threads <= 1 or not m or int(m.group(2)) != threads:
+            continue
+        base = serial.get(m.group(1), 0.0)
+        if base > 0.0:
+            eff = float(e.get("events_per_sec", 0.0)) / (base * threads)
+            out[e["name"]] = eff
+    return out
+
+
 def compare(args):
     base_doc = load(args.baseline)
     cand_doc = load(args.candidate)
@@ -68,31 +92,34 @@ def compare(args):
           f"({args.baseline})   candidate: {cand.get('label', '?')!r} "
           f"({args.candidate})")
     print(f"{'entry':<20} {'thr':>4} {'baseline':>14} {'candidate':>14} "
-          f"{'ratio':>8}")
+          f"{'ratio':>8} {'scal-eff':>9}")
 
+    cand_eff = scaling_efficiencies(cand)
     worst = None
     compared = 0
     for entry in cand["entries"]:
         name = entry["name"]
         threads = entry_threads(entry)
+        eff = cand_eff.get(name)
+        eff_col = f"{eff:>8.0%}" if eff is not None else f"{'-':>8}"
         if args.threads is not None and threads != args.threads:
             continue
         ref = base_by_name.get(name)
         if ref is None:
             print(f"{name:<20} {threads:>4} {'-':>14} "
-                  f"{entry.get(args.metric, 0):>14.0f} {'new':>8}")
+                  f"{entry.get(args.metric, 0):>14.0f} {'new':>8} {eff_col}")
             continue
         if entry_threads(ref) != threads:
             print(f"{name:<20} {threads:>4} {'-':>14} "
                   f"{entry.get(args.metric, 0):>14.0f} "
-                  f"{'thr-mismatch':>8}")
+                  f"{'thr-mismatch':>8} {eff_col}")
             continue
         b = float(ref.get(args.metric, 0.0))
         c = float(entry.get(args.metric, 0.0))
         ratio = c / b if b > 0 else float("inf")
         flag = "" if ratio >= args.min_ratio else "  << below min-ratio"
         print(f"{name:<20} {threads:>4} {b:>14.0f} {c:>14.0f} "
-              f"{ratio:>7.2f}x{flag}")
+              f"{ratio:>7.2f}x {eff_col}{flag}")
         compared += 1
         if worst is None or ratio < worst:
             worst = ratio

@@ -35,6 +35,9 @@ void usage() {
       "  --lambda-ms=L             validation window lambda (default 5)\n"
       "  --outstanding=K           Lyra proposal pipeline depth (default 3)\n"
       "  --silent=S                crash-faulty Lyra nodes (default 0)\n"
+      "  --replay-attackers=R      Lyra nodes that also re-broadcast old\n"
+      "                            INITs (Byzantine re-presentation traffic;\n"
+      "                            default 0)\n"
       "  --bandwidth-gbps=B        per-node egress (default 1.0)\n"
       "  --seed=S                  run seed (default 42)\n"
       "  --threads=N               execution threads (default 1 = serial;\n"
@@ -51,6 +54,12 @@ void usage() {
       "                            it is down (rejoins via state transfer)\n"
       "  --state-sync              enable the statesync subsystem on every\n"
       "                            node (implied by the two flags above)\n"
+      "  --stats                   print parallel-executor hot-path counters\n"
+      "                            (batches, locks/notifies per event, RNG\n"
+      "                            gate, scheduler idle time)\n"
+      "  --memoize-verify          cache signature/proof verification by\n"
+      "                            message identity (re-presented Byzantine\n"
+      "                            traffic verifies once)\n"
       "  --help                    this text\n"
       "durations (T) accept '3s', '250ms', or plain milliseconds\n");
 }
@@ -96,6 +105,7 @@ int main(int argc, char** argv) {
   RunConfig config;
   config.protocol = RunConfig::Protocol::kLyra;
   config.n = 16;
+  bool print_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -131,6 +141,8 @@ int main(int argc, char** argv) {
       config.max_outstanding = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_value(argc, argv, i, "--silent", value)) {
       config.byzantine_silent = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--replay-attackers", value)) {
+      config.replay_attackers = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_value(argc, argv, i, "--bandwidth-gbps", value)) {
       config.bandwidth_bytes_per_sec =
           std::strtod(value.c_str(), nullptr) * 125e6;
@@ -182,6 +194,10 @@ int main(int argc, char** argv) {
       config.crash_restarts.back().corrupt_wal = true;
     } else if (std::strcmp(argv[i], "--state-sync") == 0) {
       config.state_sync = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else if (std::strcmp(argv[i], "--memoize-verify") == 0) {
+      config.memoize_verify = true;
     } else if (std::strcmp(argv[i], "--no-obfuscation") == 0) {
       config.obfuscate = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -200,6 +216,15 @@ int main(int argc, char** argv) {
   }
   if (config.measure_from >= config.duration) {
     std::fprintf(stderr, "measurement window is empty\n");
+    return 2;
+  }
+  if (config.replay_attackers > 0 &&
+      config.protocol != RunConfig::Protocol::kLyra) {
+    std::fprintf(stderr, "--replay-attackers is Lyra-only\n");
+    return 2;
+  }
+  if (config.byzantine_silent + config.replay_attackers > config.f()) {
+    std::fprintf(stderr, "silent + replay attackers must stay <= f\n");
     return 2;
   }
   for (const auto& cr : config.crash_restarts) {
@@ -284,6 +309,44 @@ int main(int argc, char** argv) {
   } else {
     std::printf("ts verifications  %10llu\n",
                 static_cast<unsigned long long>(result.proof_verifications));
+  }
+  if (config.memoize_verify || config.replay_attackers > 0) {
+    std::printf("verify cache      %10llu hits / %llu misses\n",
+                static_cast<unsigned long long>(result.verify_cache_hits),
+                static_cast<unsigned long long>(result.verify_cache_misses));
+    std::printf("replays sent      %10llu\n",
+                static_cast<unsigned long long>(result.replays_sent));
+  }
+  if (print_stats) {
+    const sim::ExecutorStats& s = result.exec_stats;
+    std::printf("\n--- executor stats (threads=%u) ---\n", config.threads);
+    std::printf("events committed  %10llu (+%llu barriers)\n",
+                static_cast<unsigned long long>(s.tasks_committed),
+                static_cast<unsigned long long>(s.barrier_events));
+    std::printf("batches           %10llu (mean size %.1f)\n",
+                static_cast<unsigned long long>(s.batches_dispatched),
+                s.mean_batch_size());
+    std::printf("handbacks         %10llu batches / %llu tasks\n",
+                static_cast<unsigned long long>(s.batch_handbacks),
+                static_cast<unsigned long long>(s.tasks_handed_back));
+    std::printf("head steals       %10llu\n",
+                static_cast<unsigned long long>(s.head_steals));
+    std::printf("inbox full        %10llu retries\n",
+                static_cast<unsigned long long>(s.inbox_full_retries));
+    std::printf("locks             %10llu (%.3f per event)\n",
+                static_cast<unsigned long long>(s.lock_acquisitions),
+                s.locks_per_event());
+    std::printf("notifies          %10llu (%.3f per event)\n",
+                static_cast<unsigned long long>(s.condvar_notifies),
+                s.notifies_per_event());
+    std::printf("parks             %10llu worker / %llu scheduler\n",
+                static_cast<unsigned long long>(s.worker_parks),
+                static_cast<unsigned long long>(s.sched_parks));
+    std::printf("scheduler idle    %10.3f s\n", s.sched_idle_seconds);
+    std::printf("rng gate          %10llu draws, %llu waits, %llu wakes\n",
+                static_cast<unsigned long long>(s.rng_gate_draws),
+                static_cast<unsigned long long>(s.rng_gate_waits),
+                static_cast<unsigned long long>(s.rng_gate_wakes));
   }
   return result.prefix_consistent ? 0 : 1;
 }
