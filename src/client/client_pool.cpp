@@ -1,6 +1,9 @@
 #include "client/client_pool.hpp"
 
+#include <algorithm>
+
 #include "sim/payload_pool.hpp"
+#include "support/mutation.hpp"
 
 namespace lyra::client {
 
@@ -38,6 +41,19 @@ void ClientPool::submit(std::uint32_t count) {
 
 void ClientPool::arm_resubmit_timer() {
   if (resubmit_timeout_ <= 0 || outstanding_.empty()) return;
+  if (support::mutation_enabled("client-resubmit-fixed-period")) {
+    // Mutation hook (docs/FUZZING.md): the pre-fix behaviour armed a fixed
+    // period from "now" instead of aiming at the earliest outstanding
+    // deadline, so a wave submitted just after arming waited almost a full
+    // extra period. The fuzzer's client-resubmit-lag invariant must flag
+    // this.
+    if (resubmit_timer_armed_) return;
+    resubmit_timer_armed_ = true;
+    resubmit_deadline_ = now() + resubmit_timeout_;
+    resubmit_timer_ =
+        set_timer(resubmit_timeout_, [this] { check_resubmit(); });
+    return;
+  }
   TimeNs earliest = 0;
   bool first = true;
   for (const auto& [submitted_at, wave] : outstanding_) {
@@ -62,6 +78,8 @@ void ClientPool::check_resubmit() {
   if (outstanding_.empty()) return;
   for (auto& [submitted_at, wave] : outstanding_) {
     if (now() - wave.last_attempt < resubmit_timeout_) continue;
+    max_resubmit_lag_ = std::max(
+        max_resubmit_lag_, now() - (wave.last_attempt + resubmit_timeout_));
     auto msg = sim::make_payload<SubmitMsg>();
     msg->count = wave.count;
     // Latency stays measured from the first attempt: the retry carries the

@@ -42,6 +42,13 @@ class ClientPool final : public sim::Process {
   /// Number of resubmission sends performed (0 unless the timeout is set).
   std::uint64_t resubmissions() const { return resubmissions_; }
 
+  /// Worst observed wait past a wave's resubmit deadline (how late the
+  /// timer fired relative to last_attempt + timeout). Stays ~0 while the
+  /// timer re-aims at the earliest outstanding deadline; the schedule
+  /// fuzzer's client-resubmit-lag invariant alarms on anything larger
+  /// than scheduling slack.
+  TimeNs max_resubmit_lag() const { return max_resubmit_lag_; }
+
   /// Per-chunk commit latency in milliseconds (each sample is one
   /// submission wave of the pool).
   const Samples& latency_ms() const { return latency_ms_; }
@@ -83,6 +90,7 @@ class ClientPool final : public sim::Process {
   TimerId resubmit_timer_ = 0;
   TimeNs resubmit_deadline_ = 0;
   std::uint64_t resubmissions_ = 0;
+  TimeNs max_resubmit_lag_ = 0;
 
   Samples latency_ms_;
   double weighted_latency_sum_ms_ = 0.0;

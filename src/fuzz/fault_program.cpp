@@ -1,0 +1,462 @@
+#include "fuzz/fault_program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/random.hpp"
+
+namespace lyra::fuzz {
+
+namespace {
+
+constexpr TimeNs kWarmup = kFaultWarmup;
+
+/// Max number of simultaneously-down nodes over all crash windows.
+std::uint32_t max_concurrent_down(const std::vector<CrashFault>& crashes) {
+  std::uint32_t worst = 0;
+  for (const CrashFault& a : crashes) {
+    std::uint32_t down = 0;
+    for (const CrashFault& b : crashes) {
+      if (b.crash_at <= a.crash_at && a.crash_at < b.restart_at) ++down;
+    }
+    worst = std::max(worst, down);
+  }
+  return worst;
+}
+
+}  // namespace
+
+const char* to_string(ByzKind kind) {
+  switch (kind) {
+    case ByzKind::kSilent: return "silent";
+    case ByzKind::kReplayInit: return "replay-init";
+    case ByzKind::kSkewedPrediction: return "skewed-prediction";
+    case ByzKind::kLowballStatus: return "lowball-status";
+    case ByzKind::kSyncGarbage: return "sync-garbage";
+    case ByzKind::kSyncWrongManifest: return "sync-wrong-manifest";
+  }
+  return "?";
+}
+
+bool byz_kind_from_string(const std::string& s, ByzKind& out) {
+  for (int k = 0; k <= static_cast<int>(ByzKind::kSyncWrongManifest); ++k) {
+    const auto kind = static_cast<ByzKind>(k);
+    if (s == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+ScenarioPlan generate_plan(std::uint64_t seed) {
+  // The generator stream is derived, not the raw seed: the runner derives
+  // its own streams from the same seed and the two must never collide.
+  Rng rng(derive_stream(seed, 0x66757a7aULL /*"fuzz"*/, 1));
+  ScenarioPlan plan;
+  plan.seed = seed;
+  plan.protocol =
+      rng.next_bernoulli(0.15) ? Protocol::kPompe : Protocol::kLyra;
+  plan.n = rng.next_bernoulli(0.3) ? 7 : 4;
+  plan.clients_per_node =
+      16 + 8 * static_cast<std::uint32_t>(rng.next_below(5));
+  const std::uint32_t batches[] = {8, 16, 32};
+  plan.batch_size = batches[rng.next_below(3)];
+  const unsigned threads[] = {1, 1, 2, 4};
+  plan.threads = threads[rng.next_below(4)];
+  const std::uint32_t f = plan.f();
+
+  // Resubmission applies to both protocols: a fault can push an entry out
+  // of its synchrony window, and only retrying clients make the post-fault
+  // progress invariant checkable.
+  if (rng.next_bernoulli(0.5)) {
+    plan.resubmit_timeout = ms(800) + ms(400) * rng.next_below(3);
+  }
+  // Warmup + a fault window + the post-fault tail must all fit; the tail
+  // depends on the resubmit timeout, so the duration is drawn after it.
+  plan.duration =
+      plan.required_tail() + ms(2000) + ms(250) * rng.next_below(7);
+  const TimeNs tail = plan.required_tail();
+
+  if (plan.protocol == Protocol::kLyra) {
+    plan.state_sync = rng.next_bernoulli(0.5);
+
+    // Byzantine slots first: they are excluded from the crash budget.
+    std::uint32_t byz_budget = f >= 2 ? rng.next_below(3)  // 0..2 at n=7
+                                      : rng.next_bernoulli(0.3);
+    for (NodeId node = 0; byz_budget > 0 && node < plan.n; ++node) {
+      if (!rng.next_bernoulli(0.5)) continue;
+      const ByzKind kinds[] = {
+          ByzKind::kSilent,           ByzKind::kReplayInit,
+          ByzKind::kSkewedPrediction, ByzKind::kLowballStatus,
+          ByzKind::kSyncGarbage,      ByzKind::kSyncWrongManifest,
+      };
+      ByzKind kind = kinds[rng.next_below(6)];
+      // Sync misbehaviour needs a sync protocol to misbehave in.
+      if (!plan.state_sync && (kind == ByzKind::kSyncGarbage ||
+                               kind == ByzKind::kSyncWrongManifest)) {
+        kind = ByzKind::kSilent;
+      }
+      plan.byz.push_back({node, kind});
+      --byz_budget;
+    }
+    const std::uint32_t crash_budget =
+        f - static_cast<std::uint32_t>(plan.byz.size());
+
+    // Crash/restart windows on distinct correct nodes. Windows may overlap
+    // only while the number of concurrently-down nodes stays within the
+    // remaining budget; a draw that would exceed it is discarded.
+    const std::size_t want_crashes =
+        crash_budget == 0 ? 0 : rng.next_below(plan.n == 4 ? 3 : 4);
+    std::vector<bool> used(plan.n, false);
+    for (const ByzFault& b : plan.byz) used[b.node] = true;
+    for (std::size_t i = 0; i < want_crashes; ++i) {
+      const NodeId node = static_cast<NodeId>(rng.next_below(plan.n));
+      if (used[node]) continue;
+      CrashFault c;
+      c.node = node;
+      const TimeNs lo = kWarmup;
+      const TimeNs hi = plan.duration - tail - ms(300);
+      if (hi <= lo) break;
+      c.crash_at = lo + rng.next_below(static_cast<std::uint64_t>(hi - lo));
+      c.restart_at = std::min<TimeNs>(c.crash_at + ms(250) + ms(50) * rng.next_below(14),
+                              plan.duration - tail);
+      if (rng.next_bernoulli(0.3)) c.wipe_disk = true;
+      else if (rng.next_bernoulli(0.2)) c.corrupt_wal = true;
+      if (c.wipe_disk || c.corrupt_wal) plan.state_sync = true;
+      plan.crashes.push_back(c);
+      if (max_concurrent_down(plan.crashes) > crash_budget) {
+        plan.crashes.pop_back();
+        continue;
+      }
+      used[node] = true;
+    }
+    std::sort(plan.crashes.begin(), plan.crashes.end(),
+              [](const CrashFault& a, const CrashFault& b) {
+                return a.crash_at < b.crash_at;
+              });
+  }
+
+  // Partition windows. When crashes exist, half the windows are *coupled*:
+  // the crashed nodes form one side and the window straddles a restart, so
+  // recovering nodes resync through a degraded view — the schedule family
+  // the resync gate and state sync exist for.
+  const std::uint32_t full_mask = (1u << plan.n) - 1;
+  const std::size_t want_partitions = rng.next_below(3);
+  for (std::size_t i = 0; i < want_partitions; ++i) {
+    PartitionFault p;
+    if (!plan.crashes.empty() && rng.next_bernoulli(0.5)) {
+      for (const CrashFault& c : plan.crashes) p.side_mask |= 1u << c.node;
+      const CrashFault& anchor =
+          plan.crashes[rng.next_below(plan.crashes.size())];
+      p.from = std::max<TimeNs>(
+          kWarmup, anchor.restart_at - ms(50) * static_cast<TimeNs>(rng.next_below(5)));
+      p.to = std::min<TimeNs>(p.from + ms(300) + ms(100) * rng.next_below(7),
+                      plan.duration - tail);
+    } else {
+      p.side_mask = static_cast<std::uint32_t>(
+                        rng.next_below(full_mask - 1)) + 1;  // 1..full-1
+      const TimeNs lo = kWarmup;
+      const TimeNs hi = plan.duration - tail - ms(200);
+      if (hi <= lo) break;
+      p.from = lo + rng.next_below(static_cast<std::uint64_t>(hi - lo));
+      p.to = std::min<TimeNs>(p.from + ms(200) + ms(100) * rng.next_below(7),
+                      plan.duration - tail);
+    }
+    if (p.side_mask == 0 || p.side_mask == full_mask || p.to <= p.from) {
+      continue;
+    }
+    plan.partitions.push_back(p);
+  }
+
+  // Targeted delay bursts, biased toward recovering nodes.
+  const std::size_t want_delays = rng.next_below(3);
+  for (std::size_t i = 0; i < want_delays; ++i) {
+    DelayFault d;
+    if (!plan.crashes.empty() && rng.next_bernoulli(0.4)) {
+      d.victim = plan.crashes[rng.next_below(plan.crashes.size())].node;
+    } else if (rng.next_bernoulli(0.6)) {
+      d.victim = static_cast<NodeId>(rng.next_below(plan.n));
+    }  // else kNoNode: everyone
+    const TimeNs lo = kWarmup;
+    const TimeNs hi = plan.duration - tail - ms(200);
+    if (hi <= lo) break;
+    d.from = lo + rng.next_below(static_cast<std::uint64_t>(hi - lo));
+    d.to = std::min<TimeNs>(d.from + ms(200) + ms(150) * rng.next_below(6),
+                    plan.duration - tail);
+    d.max_extra = ms(50) + ms(50) * rng.next_below(8);
+    if (d.to <= d.from) continue;
+    plan.delays.push_back(d);
+  }
+
+  return plan;
+}
+
+std::string serialize_plan(const ScenarioPlan& plan) {
+  std::ostringstream out;
+  out << "lyra-fuzz-plan v1\n";
+  out << "seed " << plan.seed << "\n";
+  out << "protocol "
+      << (plan.protocol == Protocol::kLyra ? "lyra" : "pompe") << "\n";
+  out << "n " << plan.n << "\n";
+  out << "clients " << plan.clients_per_node << "\n";
+  out << "batch " << plan.batch_size << "\n";
+  out << "duration_ms " << plan.duration / kNsPerMs << "\n";
+  out << "threads " << plan.threads << "\n";
+  out << "state_sync " << (plan.state_sync ? 1 : 0) << "\n";
+  out << "resubmit_ms " << plan.resubmit_timeout / kNsPerMs << "\n";
+  for (const CrashFault& c : plan.crashes) {
+    out << "crash node=" << c.node << " crash_ms=" << c.crash_at / kNsPerMs
+        << " restart_ms=" << c.restart_at / kNsPerMs
+        << " wipe=" << (c.wipe_disk ? 1 : 0)
+        << " corrupt=" << (c.corrupt_wal ? 1 : 0) << "\n";
+  }
+  for (const PartitionFault& p : plan.partitions) {
+    out << "partition from_ms=" << p.from / kNsPerMs
+        << " to_ms=" << p.to / kNsPerMs << " mask=" << p.side_mask << "\n";
+  }
+  for (const DelayFault& d : plan.delays) {
+    out << "delay from_ms=" << d.from / kNsPerMs
+        << " to_ms=" << d.to / kNsPerMs
+        << " extra_ms=" << d.max_extra / kNsPerMs << " victim=";
+    if (d.victim == kNoNode) out << "all";
+    else out << d.victim;
+    out << "\n";
+  }
+  for (const ByzFault& b : plan.byz) {
+    out << "byz node=" << b.node << " kind=" << to_string(b.kind) << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// "key=value" tokens after the directive word; returns false on any
+/// malformed token so corpus typos surface as parse errors, not zeros.
+bool split_kv(std::istringstream& line,
+              std::vector<std::pair<std::string, std::string>>& out) {
+  std::string token;
+  while (line >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      return false;
+    }
+    out.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return !out.empty();
+}
+
+bool to_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    if (out > (UINT64_MAX - (ch - '0')) / 10) return false;
+    out = out * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_plan(const std::string& text, ScenarioPlan& plan,
+                std::string& error) {
+  plan = ScenarioPlan{};
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  // Comment/blank lines may precede the header (annotated corpus files).
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    have_header = line == "lyra-fuzz-plan v1";
+    break;
+  }
+  if (!have_header) {
+    error = "missing header 'lyra-fuzz-plan v1'";
+    return false;
+  }
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    const auto fail = [&](const std::string& why) {
+      error = "line " + std::to_string(lineno) + ": " + why;
+      return false;
+    };
+    const auto scalar_u64 = [&](std::uint64_t& out) {
+      std::string value;
+      if (!(ls >> value)) return false;
+      return to_u64(value, out);
+    };
+    std::uint64_t v = 0;
+    if (word == "seed") {
+      if (!scalar_u64(v)) return fail("bad seed");
+      plan.seed = v;
+    } else if (word == "protocol") {
+      std::string value;
+      ls >> value;
+      if (value == "lyra") plan.protocol = Protocol::kLyra;
+      else if (value == "pompe") plan.protocol = Protocol::kPompe;
+      else return fail("unknown protocol '" + value + "'");
+    } else if (word == "n") {
+      if (!scalar_u64(v)) return fail("bad n");
+      plan.n = static_cast<std::uint32_t>(v);
+    } else if (word == "clients") {
+      if (!scalar_u64(v)) return fail("bad clients");
+      plan.clients_per_node = static_cast<std::uint32_t>(v);
+    } else if (word == "batch") {
+      if (!scalar_u64(v)) return fail("bad batch");
+      plan.batch_size = static_cast<std::uint32_t>(v);
+    } else if (word == "duration_ms") {
+      if (!scalar_u64(v)) return fail("bad duration_ms");
+      plan.duration = static_cast<TimeNs>(v) * kNsPerMs;
+    } else if (word == "threads") {
+      if (!scalar_u64(v)) return fail("bad threads");
+      plan.threads = static_cast<unsigned>(v);
+    } else if (word == "state_sync") {
+      if (!scalar_u64(v) || v > 1) return fail("bad state_sync");
+      plan.state_sync = v == 1;
+    } else if (word == "resubmit_ms") {
+      if (!scalar_u64(v)) return fail("bad resubmit_ms");
+      plan.resubmit_timeout = static_cast<TimeNs>(v) * kNsPerMs;
+    } else if (word == "crash" || word == "partition" || word == "delay" ||
+               word == "byz") {
+      std::vector<std::pair<std::string, std::string>> kv;
+      if (!split_kv(ls, kv)) return fail("malformed key=value list");
+      CrashFault c;
+      PartitionFault p;
+      DelayFault d;
+      ByzFault b;
+      for (const auto& [key, value] : kv) {
+        std::uint64_t num = 0;
+        const bool is_num = to_u64(value, num);
+        if (word == "crash") {
+          if (key == "node" && is_num) c.node = static_cast<NodeId>(num);
+          else if (key == "crash_ms" && is_num)
+            c.crash_at = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "restart_ms" && is_num)
+            c.restart_at = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "wipe" && is_num && num <= 1) c.wipe_disk = num == 1;
+          else if (key == "corrupt" && is_num && num <= 1)
+            c.corrupt_wal = num == 1;
+          else return fail("bad crash field '" + key + "'");
+        } else if (word == "partition") {
+          if (key == "from_ms" && is_num)
+            p.from = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "to_ms" && is_num)
+            p.to = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "mask" && is_num)
+            p.side_mask = static_cast<std::uint32_t>(num);
+          else return fail("bad partition field '" + key + "'");
+        } else if (word == "delay") {
+          if (key == "from_ms" && is_num)
+            d.from = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "to_ms" && is_num)
+            d.to = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "extra_ms" && is_num)
+            d.max_extra = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "victim" && value == "all") d.victim = kNoNode;
+          else if (key == "victim" && is_num)
+            d.victim = static_cast<NodeId>(num);
+          else return fail("bad delay field '" + key + "'");
+        } else {  // byz
+          if (key == "node" && is_num) b.node = static_cast<NodeId>(num);
+          else if (key == "kind") {
+            if (!byz_kind_from_string(value, b.kind)) {
+              return fail("unknown byz kind '" + value + "'");
+            }
+          } else return fail("bad byz field '" + key + "'");
+        }
+      }
+      if (word == "crash") plan.crashes.push_back(c);
+      else if (word == "partition") plan.partitions.push_back(p);
+      else if (word == "delay") plan.delays.push_back(d);
+      else plan.byz.push_back(b);
+    } else {
+      return fail("unknown directive '" + word + "'");
+    }
+  }
+  return validate_plan(plan, error);
+}
+
+bool validate_plan(const ScenarioPlan& plan, std::string& error) {
+  const auto fail = [&](const std::string& why) {
+    error = why;
+    return false;
+  };
+  if (plan.n < 4 || plan.n > 16) return fail("n must be in [4, 16]");
+  if (plan.threads < 1 || plan.threads > 8) {
+    return fail("threads must be in [1, 8]");
+  }
+  if (plan.duration <= 0 || plan.duration > ms(60'000)) {
+    return fail("duration must be in (0, 60s]");
+  }
+  if (plan.clients_per_node == 0 || plan.clients_per_node > 512) {
+    return fail("clients must be in [1, 512]");
+  }
+  if (plan.batch_size == 0 || plan.batch_size > 1024) {
+    return fail("batch must be in [1, 1024]");
+  }
+  const std::uint32_t f = plan.f();
+  if (plan.protocol == Protocol::kPompe &&
+      (!plan.crashes.empty() || !plan.byz.empty() || plan.state_sync)) {
+    return fail("pompe plans support only partition/delay faults");
+  }
+  std::vector<bool> crashed(plan.n, false);
+  for (const CrashFault& c : plan.crashes) {
+    if (c.node >= plan.n) return fail("crash node out of range");
+    if (crashed[c.node]) return fail("two crash windows on one node");
+    crashed[c.node] = true;
+    if (c.crash_at <= 0 || c.restart_at <= c.crash_at ||
+        c.restart_at > plan.duration - plan.required_tail()) {
+      return fail("crash window outside the run (or inside the quiet tail)");
+    }
+    if ((c.wipe_disk || c.corrupt_wal) && !plan.state_sync) {
+      return fail("wipe/corrupt without state_sync would refuse the restart");
+    }
+  }
+  std::vector<bool> byzed(plan.n, false);
+  for (const ByzFault& b : plan.byz) {
+    if (b.node >= plan.n) return fail("byz node out of range");
+    if (byzed[b.node]) return fail("two byz kinds on one node");
+    if (crashed[b.node]) return fail("byz node also has a crash window");
+    if (!plan.state_sync && (b.kind == ByzKind::kSyncGarbage ||
+                             b.kind == ByzKind::kSyncWrongManifest)) {
+      return fail("sync byzantine kind requires state_sync");
+    }
+    byzed[b.node] = true;
+  }
+  if (plan.byz.size() > f) return fail("more than f byzantine slots");
+  if (max_concurrent_down(plan.crashes) + plan.byz.size() > f) {
+    return fail("concurrently-down + byzantine exceeds f");
+  }
+  const std::uint32_t full_mask = (1u << plan.n) - 1;
+  for (const PartitionFault& p : plan.partitions) {
+    if (p.from < 0 || p.to <= p.from || p.to > plan.duration - plan.required_tail()) {
+      return fail(
+          "partition window outside the run (or inside the quiet tail)");
+    }
+    if ((p.side_mask & ~full_mask) != 0) {
+      return fail("partition mask names nodes >= n");
+    }
+  }
+  for (const DelayFault& d : plan.delays) {
+    if (d.from < 0 || d.to <= d.from || d.to > plan.duration - plan.required_tail()) {
+      return fail("delay window outside the run (or inside the quiet tail)");
+    }
+    if (d.victim != kNoNode && d.victim >= plan.n) {
+      return fail("delay victim out of range");
+    }
+    if (d.max_extra < 0 || d.max_extra > ms(5000)) {
+      return fail("delay extra must be in [0, 5s]");
+    }
+  }
+  error.clear();
+  return true;
+}
+
+}  // namespace lyra::fuzz

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lyra::fuzz {
+
+/// A *fault program* is the unit the fuzzer generates, runs, minimizes and
+/// checks into the corpus: one protocol/cluster configuration plus a list
+/// of timed faults. Everything is plain data so a program serializes to a
+/// small text artifact (see serialize()/parse()) and replays bit-identically
+/// from that artifact alone — the simulator supplies the determinism.
+///
+/// Grammar constraints kept by generate() and restore()d by the minimizer:
+///  - at most one crash/restart window per node, windows disjoint in time
+///    per node, never on a Byzantine slot;
+///  - Byzantine slots + concurrently-down nodes <= f so liveness invariants
+///    stay meaningful (safety invariants would hold regardless);
+///  - every fault ends before `duration - tail` so the run always has a
+///    fault-free tail for the convergence/progress invariants.
+
+/// One crash/restart pair. `wipe_disk` erases the node's disk mid-window;
+/// `corrupt_wal` flips bits in the WAL head frame mid-window. Either forces
+/// the generator to enable state sync (otherwise the restart is refused by
+/// design and the node would stay down).
+struct CrashFault {
+  NodeId node = 0;
+  TimeNs crash_at = 0;
+  TimeNs restart_at = 0;
+  bool wipe_disk = false;
+  bool corrupt_wal = false;
+};
+
+/// Messages crossing the side boundary are delayed until `to` (plus normal
+/// delivery latency): a clean partition/heal pair expressed as pure added
+/// delay, which keeps the net::Adversary contract (never accelerate, never
+/// drop) and therefore the parallel executor's lookahead sound.
+/// Bit i of side_mask puts consensus node i on side A; client pools are
+/// co-located with their target node and inherit its side.
+struct PartitionFault {
+  TimeNs from = 0;
+  TimeNs to = 0;
+  std::uint32_t side_mask = 0;
+};
+
+/// Adds up to `max_extra` of random delay to every message delivered to
+/// `victim` (kNoNode = every node) inside the window — an adversarial
+/// delay burst in the style of the targeted reordering attacks (§V).
+struct DelayFault {
+  TimeNs from = 0;
+  TimeNs to = 0;
+  TimeNs max_extra = 0;
+  NodeId victim = kNoNode;
+};
+
+/// Byzantine behaviours the generator can assign to a slot. Protocol-level
+/// variants come from src/attacks; the sync variants misbehave only in the
+/// state-transfer protocol (serving garbage chunks / a wrong manifest).
+enum class ByzKind : std::uint8_t {
+  kSilent = 0,
+  kReplayInit = 1,
+  kSkewedPrediction = 2,
+  kLowballStatus = 3,
+  kSyncGarbage = 4,
+  kSyncWrongManifest = 5,
+};
+
+const char* to_string(ByzKind kind);
+bool byz_kind_from_string(const std::string& s, ByzKind& out);
+
+struct ByzFault {
+  NodeId node = 0;
+  ByzKind kind = ByzKind::kSilent;
+};
+
+enum class Protocol : std::uint8_t { kLyra = 0, kPompe = 1 };
+
+/// Every fault (including heals and restarts) must end this long before the
+/// run does. One commit over the three-continents topology costs ~1.2-1.5s
+/// at delta = 160ms, and recovery adds resync + catch-up on top, so the
+/// progress/convergence invariants need a quiet tail longer than that.
+/// When client resubmission is on, the wave in flight at the heal may be
+/// refused (it missed its synchrony window), and the *retry* can straddle
+/// the heal and be refused once more — recovery then takes two resubmit
+/// cycles, which required_tail() adds for such plans.
+/// validate_plan() enforces the tail, which also stops the minimizer from
+/// shrinking `duration` into a manufactured liveness failure.
+inline constexpr TimeNs kFaultTail = ms(2500);
+/// Faults start after the cluster has warmed up (distance probes, first
+/// client waves) so they hit a live protocol, not an idle one.
+inline constexpr TimeNs kFaultWarmup = ms(800);
+
+/// The complete scenario: configuration axes plus the fault list.
+struct ScenarioPlan {
+  std::uint64_t seed = 0;  ///< drives every in-run random choice
+  Protocol protocol = Protocol::kLyra;
+  std::uint32_t n = 4;
+  std::uint32_t clients_per_node = 16;
+  std::uint32_t batch_size = 16;
+  TimeNs duration = 0;
+  unsigned threads = 1;
+  bool state_sync = false;
+  TimeNs resubmit_timeout = 0;  ///< 0 = resubmission off
+
+  std::vector<CrashFault> crashes;
+  std::vector<PartitionFault> partitions;
+  std::vector<DelayFault> delays;
+  std::vector<ByzFault> byz;
+
+  std::uint32_t f() const { return (n - 1) / 3; }
+  /// Quiet time every fault must leave before the end of the run.
+  TimeNs required_tail() const { return kFaultTail + 2 * resubmit_timeout; }
+  std::size_t fault_count() const {
+    return crashes.size() + partitions.size() + delays.size() + byz.size();
+  }
+};
+
+/// Deterministically expands a seed into a plan. Same seed, same plan —
+/// the corpus stores seeds for fuzzer-found programs and full programs for
+/// minimized reproducers.
+ScenarioPlan generate_plan(std::uint64_t seed);
+
+/// Human-readable, diff-friendly one-fact-per-line artifact format.
+std::string serialize_plan(const ScenarioPlan& plan);
+
+/// Parses serialize_plan() output. Returns false (with `error` set) on
+/// malformed input; never aborts — corpus files are untrusted inputs.
+bool parse_plan(const std::string& text, ScenarioPlan& plan,
+                std::string& error);
+
+/// Structural validity: bounds on n/threads/duration, fault windows inside
+/// the run, crash windows per-node disjoint, byz slots distinct and <= f.
+/// The runner refuses invalid plans instead of asserting.
+bool validate_plan(const ScenarioPlan& plan, std::string& error);
+
+}  // namespace lyra::fuzz

@@ -1,0 +1,39 @@
+#include "fuzz/fuzz_adversary.hpp"
+
+#include <algorithm>
+
+namespace lyra::fuzz {
+
+TimeNs FuzzAdversary::delay(const sim::Envelope& env, TimeNs base_delay,
+                            Rng& rng) {
+  TimeNs total = base_delay;
+  for (const PartitionFault& p : partitions_) {
+    if (env.sent_at < p.from || env.sent_at >= p.to) continue;
+    if (side_a(env.from, p.side_mask) == side_a(env.to, p.side_mask)) {
+      continue;
+    }
+    // Hold the message until the heal, then deliver with its honest
+    // latency plus a small jitter so post-heal arrivals interleave instead
+    // of forming one synchronized burst.
+    const TimeNs until_heal = p.to - env.sent_at;
+    const TimeNs jitter =
+        static_cast<TimeNs>(rng.next_below(static_cast<std::uint64_t>(
+            std::max<TimeNs>(1, base_delay / 2))));
+    total = std::max(total, until_heal + base_delay + jitter);
+    ++partitioned_;
+  }
+  for (const DelayFault& d : delays_) {
+    if (env.sent_at < d.from || env.sent_at >= d.to) continue;
+    if (d.victim != kNoNode && env.to != d.victim && env.from != d.victim) {
+      continue;
+    }
+    if (d.max_extra > 0) {
+      total += static_cast<TimeNs>(
+          rng.next_below(static_cast<std::uint64_t>(d.max_extra)));
+      ++delayed_;
+    }
+  }
+  return std::max(total, base_delay);
+}
+
+}  // namespace lyra::fuzz

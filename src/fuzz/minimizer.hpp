@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/fault_program.hpp"
+#include "fuzz/runner.hpp"
+
+namespace lyra::fuzz {
+
+struct MinimizeResult {
+  ScenarioPlan plan;                  ///< smallest still-failing program
+  std::vector<Violation> violations;  ///< what the minimized plan trips
+  std::size_t oracle_runs = 0;        ///< simulations spent shrinking
+};
+
+/// Greedy delta-debugging over the fault-program grammar: repeatedly try
+/// dropping whole faults, turning off configuration axes (threads,
+/// resubmission, state sync), shrinking windows and the run itself, and
+/// reducing n — keeping any candidate that still violates *some*
+/// invariant (a smaller program tripping a different invariant is still a
+/// bug, and usually the same root cause with less noise). Deterministic:
+/// candidate order is fixed and the oracle is the deterministic runner.
+///
+/// The serial==parallel equivalence check stays enabled during shrinking
+/// only when the original failure involved it; otherwise each oracle run
+/// is a single simulation.
+MinimizeResult minimize_plan(
+    const ScenarioPlan& failing, std::size_t max_runs = 250,
+    const std::function<void(const std::string&)>& log = nullptr);
+
+}  // namespace lyra::fuzz

@@ -294,6 +294,7 @@ statesync::StateSyncStats LyraCluster::statesync_totals() const {
     total.catchup_reveals += s.catchup_reveals;
     total.catchup_rejections += s.catchup_rejections;
     total.peers_demoted += s.peers_demoted;
+    total.installs_refused += s.installs_refused;
   }
   return total;
 }

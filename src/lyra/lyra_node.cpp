@@ -5,6 +5,7 @@
 #include "sim/payload_pool.hpp"
 
 #include "support/assert.hpp"
+#include "support/mutation.hpp"
 
 namespace lyra::core {
 
@@ -585,17 +586,23 @@ void LyraNode::handle_resync_reply(const sim::Envelope& env,
   // Broadcast loops the request back to us and we answer it like any peer;
   // that self-reply carries nothing we lack and must not count toward the
   // quorum, or only f *other* nodes — possibly all Byzantine — would gate
-  // extraction.
-  if (env.from == id()) return;
+  // extraction. The mutation hook (docs/FUZZING.md) reverts to the pre-fix
+  // counting so the schedule fuzzer can prove its invariants catch it.
+  if (env.from == id() &&
+      !support::mutation_enabled("resync-self-reply")) {
+    return;
+  }
   for (const AcceptedEntry& entry : m.entries) merge_accepted(entry, env.from);
   if (!resync_pending_ || env.from >= config_.n ||
       resync_replied_[env.from]) {
     return;
   }
   resync_replied_[env.from] = true;
+  if (env.from != id()) ++resync_peer_replies_;
   if (++resync_replies_ <= config_.f) return;
   // f+1 answers: at least one correct peer, whose accepted set covers every
   // extractable entry (Lemma 6). The gate opens.
+  resync_peer_replies_at_open_ = resync_peer_replies_;
   resync_pending_ = false;
   LYRA_TRACE("resync", "accepted=" + std::to_string(commit_.accepted_count()));
   try_commit();
@@ -1193,6 +1200,12 @@ storage::Snapshot LyraNode::make_snapshot() const {
   };
   for (const auto& [inst, batch] : own_batches_) add_own(inst, batch.chunks);
   for (const auto& [inst, chunks] : pending_notify_) add_own(inst, chunks);
+  // Hash-map iteration order would otherwise leak into the serialized
+  // snapshot (and through it into statesync chunk digests); sort so the
+  // bytes depend only on logical state.
+  std::sort(snap.own_batches.begin(), snap.own_batches.end(),
+            [](const storage::OwnBatchRecord& a,
+               const storage::OwnBatchRecord& b) { return a.inst < b.inst; });
   return snap;
 }
 
@@ -1205,6 +1218,8 @@ void LyraNode::restore(const storage::RecoveredState& recovered) {
   resync_pending_ = true;
   resync_replied_.assign(config_.n, false);
   resync_replies_ = 0;
+  resync_peer_replies_ = 0;
+  resync_peer_replies_at_open_ = 0;
 
   // New status-counter epoch: peers that saw pre-crash counters must never
   // treat this incarnation's piggybacks as stale. The recovered value is
@@ -1369,16 +1384,23 @@ bool LyraNode::sync_verify_payload(BytesView payload,
   return computed == digest;
 }
 
-void LyraNode::sync_install_prefix(
+bool LyraNode::sync_install_prefix(
     const std::vector<AcceptedEntry>& entries) {
   // f+1 distinct peers vouched for this prefix, so at least one correct
   // node committed it. Our own ledger was extracted under the same quorum
   // rules; a divergence here would mean the protocol's safety broke.
-  LYRA_ASSERT(entries.size() >= ledger_.size(),
-              "synced cut below the local ledger");
+  // Refuse structurally (the manager renegotiates the cut) instead of
+  // aborting — the fuzzer drives this path with injected faults.
+  if (entries.size() < ledger_.size()) {
+    LYRA_TRACE("statesync", "refused synced cut below the local ledger");
+    return false;
+  }
   for (std::size_t i = 0; i < ledger_.size(); ++i) {
-    LYRA_ASSERT(ledger_[i].cipher_id == entries[i].cipher_id,
-                "local ledger is not a prefix of the synced one");
+    if (ledger_[i].cipher_id != entries[i].cipher_id) {
+      LYRA_TRACE("statesync",
+                 "refused synced cut: local ledger is not a prefix of it");
+      return false;
+    }
   }
   for (std::size_t i = ledger_.size(); i < entries.size(); ++i) {
     const AcceptedEntry& e = entries[i];
@@ -1421,6 +1443,7 @@ void LyraNode::sync_install_prefix(
   }
   LYRA_TRACE("statesync",
              "installed prefix len=" + std::to_string(ledger_.size()));
+  return true;
 }
 
 std::vector<crypto::Digest> LyraNode::sync_unrevealed(

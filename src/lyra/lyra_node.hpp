@@ -96,6 +96,13 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
   bool warmed_up() const { return warmed_up_; }
   /// True while a restarted node still gates extraction on peer resync.
   bool resync_pending() const { return resync_pending_; }
+  /// Distinct non-self repliers counted when the resync gate last opened
+  /// (0 = gate never opened post-restart). Lemma 6 needs f+1 of them; the
+  /// fuzzer's resync-gate-quorum invariant checks this directly because
+  /// the miscount is unobservable from ledgers alone under <= f faults.
+  std::uint32_t resync_peer_replies_at_open() const {
+    return resync_peer_replies_at_open_;
+  }
   /// Last status-update counter published (epoch-strided on restart).
   std::uint64_t status_counter() const { return status_counter_; }
   SeqNum clock_now() const { return clock_.now(); }
@@ -152,7 +159,7 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
                           Bytes& payload) const override;
   bool sync_verify_payload(BytesView payload,
                            const crypto::Digest& digest) const override;
-  void sync_install_prefix(const std::vector<AcceptedEntry>& entries) override;
+  bool sync_install_prefix(const std::vector<AcceptedEntry>& entries) override;
   std::vector<crypto::Digest> sync_unrevealed(std::size_t limit) const override;
   bool sync_install_payload(const crypto::Digest& cipher_id,
                             const Bytes& payload,
@@ -317,6 +324,8 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
   bool resync_pending_ = false;
   std::vector<bool> resync_replied_;
   std::size_t resync_replies_ = 0;
+  std::uint32_t resync_peer_replies_ = 0;
+  std::uint32_t resync_peer_replies_at_open_ = 0;
 
   static constexpr std::uint32_t kMaxResubmissions = 10'000;
 };

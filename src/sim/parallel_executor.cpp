@@ -138,11 +138,19 @@ ParallelExecutor::OwnerState& ParallelExecutor::owner_state(NodeId owner) {
 
 void ParallelExecutor::cancel_event(std::uint64_t id) {
   if (sim_->queue_.cancel(id)) return;
-  // Already popped into a holding heap. Cancels are always same-owner
-  // (apply_cancel_timer), and the worker-side stop rule closes a batch at
-  // the first cancel-timer effect, so a cancellable event is never in an
-  // executed position: it is either held now or will be handed back to the
-  // holding heap, where the dispatch sweep drops it.
+  // The queue no longer knows the id: either the event already fired, or
+  // it was popped into the holding/dispatch tiers. With nothing popped
+  // and uncommitted, only "already fired" remains, and EventQueue::cancel
+  // documents that as a harmless no-op — barrier-context cancels (which
+  // only run at full drain) of fired ids land here. Recording them would
+  // leave a tombstone no dispatch sweep ever consumes.
+  if (held_keys_.empty() && inflight_.empty()) return;
+  // Already popped into a holding heap. Timer cancels are always
+  // same-owner (apply_cancel_timer, filtered through live_timers_), and
+  // the worker-side stop rule closes a batch at the first cancel-timer
+  // effect, so a cancellable event is never in an executed position: it
+  // is either held now or will be handed back to the holding heap, where
+  // the dispatch sweep drops it.
   cancelled_popped_.insert(id);
 }
 

@@ -22,7 +22,12 @@ bool decode_sync_prefix(BytesView data,
                         std::vector<core::AcceptedEntry>& out) {
   storage::ByteReader r(data);
   const std::uint64_t count = r.u64();
-  if (!r.ok() || count * kSyncEntryBytes != r.remaining()) return false;
+  // Divide, don't multiply: a tampered count near 2^64 would wrap the
+  // product past the length check and then abort inside reserve().
+  if (!r.ok() || r.remaining() % kSyncEntryBytes != 0 ||
+      count != r.remaining() / kSyncEntryBytes) {
+    return false;
+  }
   std::vector<core::AcceptedEntry> entries;
   entries.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {

@@ -102,6 +102,10 @@ void StateSyncManager::start_manifest() {
 
 void StateSyncManager::handle_manifest_reply(const sim::Envelope& env,
                                              const SyncManifestReplyMsg& m) {
+  // Replies index per-peer state by sender; a reply from outside the
+  // consensus group (a confused or hostile client id) must be dropped, not
+  // written through peer_len_/vote bitmaps out of bounds.
+  if (env.from >= n_) return;
   if (phase_ == Phase::kProbe && m.cut == 0) {
     peer_len_[env.from] =
         static_cast<std::int64_t>(std::min<std::uint64_t>(m.ledger_len, 1u << 30));
@@ -229,6 +233,7 @@ bool StateSyncManager::request_chunk(std::size_t index) {
 
 void StateSyncManager::handle_chunk_reply(const sim::Envelope& env,
                                           const SyncChunkReplyMsg& m) {
+  if (env.from >= n_) return;  // not a consensus peer
   if (phase_ != Phase::kChunks || m.cut != cut_ ||
       m.chunk >= chunks_.size()) {
     return;
@@ -292,13 +297,19 @@ void StateSyncManager::assemble_and_install() {
 
 void StateSyncManager::finish_sync(
     const std::vector<core::AcceptedEntry>& entries) {
+  if (!entries.empty() && !host_->sync_install_prefix(entries)) {
+    // The host found the quorum-voted cut conflicting with its own ledger.
+    // With f+1 distinct vouchers that would take a protocol-safety break —
+    // but a fuzzer-injected fault must surface as a refusal plus a
+    // renegotiation, never as a process abort.
+    stats_.installs_refused++;
+    start_probe();
+    return;
+  }
   phase_ = Phase::kIdle;
   round_++;
   stats_.syncs_completed++;
-  if (!entries.empty()) {
-    stats_.entries_installed += entries.size();
-    host_->sync_install_prefix(entries);
-  }
+  if (!entries.empty()) stats_.entries_installed += entries.size();
   host_->sync_completed();
   begin_catchup();
 }
@@ -378,6 +389,7 @@ void StateSyncManager::catchup_tick() {
 
 void StateSyncManager::handle_reveal_reply(const sim::Envelope& env,
                                            const RevealReplyMsg& m) {
+  if (env.from >= n_) return;  // vote bitmaps are indexed by sender
   for (const RevealReplyMsg::Item& item : m.items) {
     auto it = catchup_.find(item.cipher_id);
     if (it == catchup_.end()) continue;

@@ -37,6 +37,7 @@ struct StateSyncStats {
   std::uint64_t catchup_reveals = 0;   ///< payloads installed via catch-up
   std::uint64_t catchup_rejections = 0;///< served payloads failing their digest
   std::uint64_t peers_demoted = 0;     ///< peers excluded for serving garbage
+  std::uint64_t installs_refused = 0;  ///< host rejected a conflicting prefix
 };
 
 /// Test hook: how a Byzantine node's manager misbehaves on the *serving*
@@ -84,7 +85,10 @@ class StateSyncHost {
                                    const crypto::Digest& digest) const = 0;
   /// Adopts a quorum-verified committed prefix; the local ledger must be a
   /// prefix of it (f+1 distinct peers vouched, at least one correct).
-  virtual void sync_install_prefix(
+  /// Returns false — a structured refusal, not an abort — when the synced
+  /// cut conflicts with the local ledger; the manager renegotiates the cut
+  /// instead of installing.
+  virtual bool sync_install_prefix(
       const std::vector<core::AcceptedEntry>& entries) = 0;
   /// Committed entries whose payload is still unknown locally, oldest
   /// first, at most `limit`.

@@ -100,7 +100,11 @@ bool decode_own_batch_record(BytesView payload, OwnBatchRecord& out) {
   OwnBatchRecord rec;
   rec.inst = r.instance();
   const std::uint64_t count = r.u64();
-  if (!r.ok() || count * 16 != r.remaining()) return false;
+  // Divide, don't multiply: a corrupt count near 2^64 would wrap count*16
+  // past the length check and then abort inside reserve().
+  if (!r.ok() || r.remaining() % 16 != 0 || count != r.remaining() / 16) {
+    return false;
+  }
   rec.chunks.reserve(count);
   for (std::uint64_t c = 0; c < count && r.ok(); ++c) {
     OwnBatchChunk chunk;

@@ -41,6 +41,20 @@ class MpscRing {
     tail_.store(0, std::memory_order_relaxed);
   }
 
+  /// Testing hook: start both cursors at `start_pos` instead of 0, with
+  /// cell sequence numbers initialized to match. The push/pop arithmetic
+  /// is modular in the 64-bit position, so a ring started just below the
+  /// uint64 wrap point exercises cursor overflow without 2^64 pushes.
+  MpscRing(std::size_t capacity, std::uint64_t start_pos)
+      : MpscRing(capacity) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[(start_pos + i) & mask_].seq.store(start_pos + i,
+                                                std::memory_order_relaxed);
+    }
+    head_.store(start_pos, std::memory_order_relaxed);
+    tail_.store(start_pos, std::memory_order_relaxed);
+  }
+
   MpscRing(const MpscRing&) = delete;
   MpscRing& operator=(const MpscRing&) = delete;
 

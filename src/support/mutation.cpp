@@ -1,0 +1,24 @@
+#include "support/mutation.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace lyra::support {
+
+bool mutation_enabled(const char* name) {
+  const char* env = std::getenv("LYRA_FUZZ_MUTATION");
+  if (env == nullptr || *env == '\0') return false;
+  std::string_view list(env);
+  const std::string_view want(name);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view item = list.substr(0, comma);
+    if (item == want) return true;
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+}  // namespace lyra::support

@@ -1,0 +1,25 @@
+#pragma once
+
+namespace lyra::support {
+
+/// Mutation-testing hooks for the schedule fuzzer (docs/FUZZING.md).
+///
+/// A mutation re-introduces one known-fixed bug behind an environment
+/// switch so the fuzzer's invariants can be validated end-to-end: with
+/// `LYRA_FUZZ_MUTATION=<name>` (comma-separated list) the guarded code
+/// path reverts to its pre-fix behaviour, and a healthy invariant suite
+/// must flag it within a bounded number of seeds.
+///
+/// Known mutation names:
+///   - "resync-self-reply": count the node's own resync reply toward the
+///     f+1 gate quorum (the PR 2 bug).
+///   - "client-resubmit-fixed-period": arm the client resubmit timer for a
+///     fixed period instead of re-aiming at the earliest outstanding
+///     deadline (the PR 5 bug).
+///
+/// The check reads the environment on every call; the guarded sites are
+/// cold (resync replies, resubmit-timer arming), so there is no cached
+/// state that tests toggling the variable would have to invalidate.
+bool mutation_enabled(const char* name);
+
+}  // namespace lyra::support

@@ -125,5 +125,55 @@ TEST(Simulation, CancelRacesBatchedDispatch) {
   unsetenv("LYRA_PARALLEL_INLINE");
 }
 
+TEST(Simulation, CancelRacesBatchedDispatchAtEightThreads) {
+  // The eight-worker variant with repeated cancel waves: each barrier
+  // cancels a slice of the ids scheduled so far AND schedules a fresh
+  // burst of owned events (barriers run on the scheduler, the only thread
+  // allowed to touch the queue), so every dispatch round has events dying
+  // while same-owner siblings sit in workers' batches, and later waves
+  // race against events created by earlier waves. Cancel ids span events
+  // long fired (must be no-ops), still live, and mid-dispatch. The
+  // surviving schedule must match the serial run's exactly.
+  setenv("LYRA_PARALLEL_INLINE", "0", 1);
+  auto run = [](unsigned threads) {
+    Simulation sim(23);
+    if (threads > 1) sim.set_parallelism(threads, us(200));
+    constexpr NodeId kOwners = 5;
+    std::vector<std::vector<TimeNs>> ran(kOwners);
+    auto victims = std::make_shared<std::vector<std::uint64_t>>();
+    const auto burst = [&ran, &sim, victims](TimeNs base, int count) {
+      for (NodeId owner = 0; owner < kOwners; ++owner) {
+        for (int i = 0; i < count; ++i) {
+          const TimeNs at = base + us(11 * i + owner);
+          const auto id = sim.schedule_at(
+              at, [&ran, owner, &sim] { ran[owner].push_back(sim.now()); },
+              owner);
+          if (i % 4 == 1) victims->push_back(id);
+        }
+      }
+    };
+    burst(us(10), 120);
+    for (int wave = 0; wave < 3; ++wave) {
+      sim.schedule_at(us(300 + 400 * wave), [&sim, victims, burst, wave] {
+        // Kill every other victim accumulated so far, front to back, so
+        // the set includes already-fired ids from previous bursts.
+        for (std::size_t k = wave; k < victims->size(); k += 2) {
+          sim.cancel((*victims)[k]);
+        }
+        burst(sim.now() + us(50), 40);
+      });
+    }
+    sim.run_all();
+    return ran;
+  };
+
+  const auto serial = run(1);
+  std::size_t survivors = 0;
+  for (const auto& owner_ran : serial) survivors += owner_ran.size();
+  ASSERT_GT(survivors, 0u);
+  EXPECT_EQ(run(8), serial);
+  unsetenv("LYRA_PARALLEL_INLINE");
+}
+
 }  // namespace
 }  // namespace lyra::sim

@@ -106,6 +106,76 @@ TEST(MpscRing, ManyProducersOneConsumerDeliversEverythingOnce) {
   }
 }
 
+TEST(MpscRing, SurvivesCursorOverflow) {
+  // Positions are uint64 and the cell-seq protocol is modular arithmetic;
+  // start the cursors just below the wrap point so pushes and pops cross
+  // pos == 2^64 within a few items. FIFO and the full/empty probes must
+  // be unaffected by the wrap.
+  constexpr std::uint64_t kStart = ~std::uint64_t{0} - 3;
+  MpscRing<std::uint64_t> ring(8, kStart);
+  EXPECT_TRUE(ring.empty());
+
+  // Fill across the boundary, hit the full condition, then drain.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_push(i)) << "push " << i;
+  }
+  EXPECT_FALSE(ring.try_push(99));
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(v)) << "pop " << i;
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+  EXPECT_TRUE(ring.empty());
+
+  // A couple of laps after the wrap keeps working.
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    ASSERT_TRUE(ring.try_push(100 + i));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 100 + i);
+  }
+}
+
+TEST(MpscRing, ConcurrentProducersAcrossCursorOverflow) {
+  // Same wrap point, but with racing producers so the CAS-claim path and
+  // the consumer's lap-ahead seq update both cross the boundary under
+  // contention.
+  constexpr std::uint64_t kStart = ~std::uint64_t{0} - 7;
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 2000;
+  MpscRing<std::uint64_t> ring(16, kStart);
+
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t tagged = (std::uint64_t{p} << 32) | i;
+        while (!ring.try_push(tagged)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> got(kProducers);
+  std::uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    std::uint64_t v = 0;
+    if (!ring.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    got[v >> 32].push_back(v & 0xffffffffu);
+    ++popped;
+  }
+  for (auto& t : producers) t.join();
+
+  for (unsigned p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(got[p].size(), kPerProducer) << "producer " << p;
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(got[p][i], i) << "producer " << p << " reordered at wrap";
+    }
+  }
+}
+
 TEST(MpscRing, MoveOnlyValuesTransferCleanly) {
   MpscRing<std::unique_ptr<int>> ring(4);
   ASSERT_TRUE(ring.try_push(std::make_unique<int>(5)));
