@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -83,6 +84,10 @@ struct BenchEntry {
   double locks_per_event = 0.0;
   double notifies_per_event = 0.0;
   double mean_batch_size = 0.0;
+  /// Benchmark-specific metrics (e.g. the load sweep's offered_tps,
+  /// extracted_value). Serialized as additional keys only when non-empty,
+  /// so benches that never touch it produce byte-identical JSON.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -134,7 +139,11 @@ inline void write_bench_json(const std::string& path,
          ", \"host_nproc\": " + std::to_string(e.host_nproc) +
          ", \"locks_per_event\": " + json_num(e.locks_per_event) +
          ", \"notifies_per_event\": " + json_num(e.notifies_per_event) +
-         ", \"mean_batch_size\": " + json_num(e.mean_batch_size) + "}";
+         ", \"mean_batch_size\": " + json_num(e.mean_batch_size);
+    for (const auto& [key, v] : e.extra) {
+      j += ", \"" + json_escape(key) + "\": " + json_num(v);
+    }
+    j += "}";
     j += (i + 1 < entries.size()) ? ",\n" : "\n";
   }
   j += "      ]\n    }\n  ]\n}\n";

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <unordered_set>
+
+#include "lyra/lyra_node.hpp"
+#include "pompe/pompe_node.hpp"
+#include "workload/economics.hpp"
+#include "workload/types.hpp"
+
+namespace lyra::attacks {
+
+/// Economic sandwich adversary parameters (docs/WORKLOAD.md §economics).
+struct SandwichOptions {
+  /// Only organic transactions at least this valuable are worth attacking.
+  std::uint64_t value_threshold = 5000;
+  /// The front order outbids the victim by this much (fee-priority pools
+  /// carve it first).
+  std::uint64_t fee_bid_delta = 10;
+  /// Bound on targets taken from one observed batch.
+  std::size_t max_targets_per_batch = 4;
+  /// The back order is issued this long after the front, so it rides a
+  /// later batch and orders after the victim.
+  TimeNs back_delay = ms(2);
+};
+
+/// Mallory on Pompē with an economic motive: phase-1 timestamp requests
+/// carry batch payloads in the clear, so this node decodes every workload
+/// batch other proposers sequence, picks high-value victims, and injects a
+/// fee-bid front order (immediately, racing the victim's timestamp
+/// quorum) and a back order (shortly after) through its own mempool and
+/// proposer role. Requires mempool_capacity > 0 on this node.
+class SandwichPompeNode final : public pompe::PompeNode {
+ public:
+  SandwichPompeNode(sim::Simulation* sim, net::Network* network, NodeId id,
+                    const pompe::PompeConfig& config,
+                    const crypto::KeyRegistry* registry,
+                    const SandwichOptions& options);
+
+  std::uint64_t victims_observed() const { return victims_observed_; }
+  std::uint64_t attacks_injected() const { return attacks_injected_; }
+
+ protected:
+  void observe_batch(const pompe::TsRequestMsg& m) override;
+
+ private:
+  void inject(const workload::WorkloadTx& attack);
+
+  SandwichOptions options_;
+  std::unordered_set<std::uint64_t> targeted_;
+  std::uint64_t next_attack_ = 0;
+  std::uint64_t victims_observed_ = 0;
+  std::uint64_t attacks_injected_ = 0;
+};
+
+/// Mallory on Lyra: same motive, but phase-1 traffic is VSS ciphertext —
+/// payloads only become readable at reveal time, after the order is
+/// already fixed. The node still reacts then (the best it can do), which
+/// demonstrates the economic claim: its front orders always land after
+/// their victims, so extracted value is ~0.
+class SandwichLyraNode final : public core::LyraNode {
+ public:
+  SandwichLyraNode(sim::Simulation* sim, net::Network* network, NodeId id,
+                   const core::Config& config,
+                   const crypto::KeyRegistry* registry,
+                   const SandwichOptions& options);
+
+  void on_start() override;
+
+  std::uint64_t victims_observed() const { return victims_observed_; }
+  std::uint64_t attacks_injected() const { return attacks_injected_; }
+
+ private:
+  void inject(const workload::WorkloadTx& attack);
+
+  SandwichOptions options_;
+  std::unordered_set<std::uint64_t> targeted_;
+  std::uint64_t next_attack_ = 0;
+  std::uint64_t victims_observed_ = 0;
+  std::uint64_t attacks_injected_ = 0;
+};
+
+/// Economic outcome from a node's committed ledger (payload order).
+workload::EconomicsReport evaluate_pompe_economics(
+    const pompe::PompeNode& node, const workload::EconomicsParams& params);
+workload::EconomicsReport evaluate_lyra_economics(
+    const core::LyraNode& node, const workload::EconomicsParams& params);
+
+}  // namespace lyra::attacks

@@ -27,6 +27,7 @@ void ClientPool::on_start() {
 
 void ClientPool::submit(std::uint32_t count) {
   if (count == 0) return;
+  submitted_total_ += count;
   auto msg = sim::make_payload<SubmitMsg>();
   msg->count = count;
   msg->submitted_at = now();
@@ -88,6 +89,7 @@ void ClientPool::check_resubmit() {
     send(target_, std::move(msg));
     wave.last_attempt = now();
     ++resubmissions_;
+    submitted_total_ += wave.count;
   }
   arm_resubmit_timer();
 }
@@ -98,12 +100,19 @@ void ClientPool::on_message(const sim::Envelope& env) {
 
   if (resubmit_timeout_ > 0) {
     auto it = outstanding_.find(notify->submitted_at);
-    if (it != outstanding_.end()) {
-      if (it->second.count <= notify->count) {
-        outstanding_.erase(it);
-      } else {
-        it->second.count -= notify->count;
-      }
+    if (it == outstanding_.end()) {
+      // Both the original and the retry of a resubmitted wave committed
+      // (the original's notify was late, not lost). The first notify
+      // settled the stats and re-triggered the closed loop; counting this
+      // one too would double-count commits and grow the pool's in-flight
+      // width past its configured width for the rest of the run.
+      ++duplicate_notifies_;
+      return;
+    }
+    if (it->second.count <= notify->count) {
+      outstanding_.erase(it);
+    } else {
+      it->second.count -= notify->count;
     }
   }
 

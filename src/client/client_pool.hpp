@@ -42,6 +42,16 @@ class ClientPool final : public sim::Process {
   /// Number of resubmission sends performed (0 unless the timeout is set).
   std::uint64_t resubmissions() const { return resubmissions_; }
 
+  /// Transactions submitted, counting every resubmission send again (so
+  /// submitted_total - resubmitted load = distinct transactions offered).
+  std::uint64_t submitted_total() const { return submitted_total_; }
+
+  /// CommitNotify messages for waves already fully acknowledged — the
+  /// original and the retry of a resubmitted wave both committed. These are
+  /// dropped instead of being counted (and re-triggering the closed loop) a
+  /// second time.
+  std::uint64_t duplicate_notifies() const { return duplicate_notifies_; }
+
   /// Worst observed wait past a wave's resubmit deadline (how late the
   /// timer fired relative to last_attempt + timeout). Stays ~0 while the
   /// timer re-aims at the earliest outstanding deadline; the schedule
@@ -90,6 +100,8 @@ class ClientPool final : public sim::Process {
   TimerId resubmit_timer_ = 0;
   TimeNs resubmit_deadline_ = 0;
   std::uint64_t resubmissions_ = 0;
+  std::uint64_t submitted_total_ = 0;
+  std::uint64_t duplicate_notifies_ = 0;
   TimeNs max_resubmit_lag_ = 0;
 
   Samples latency_ms_;

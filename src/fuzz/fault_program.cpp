@@ -66,10 +66,20 @@ ScenarioPlan generate_plan(std::uint64_t seed) {
   plan.threads = threads[rng.next_below(4)];
   const std::uint32_t f = plan.f();
 
+  // Open-loop mode swaps the closed-loop pools for Poisson traffic sources
+  // feeding a bounded fee-priority mempool. Drawn before the resubmit and
+  // duration draws because required_tail() depends on both knobs.
+  if (rng.next_bernoulli(0.35)) {
+    plan.mempool_capacity = 32u << rng.next_below(3);  // 32 / 64 / 128
+    plan.arrival_rate =
+        100 + 50 * static_cast<std::uint32_t>(rng.next_below(9));
+  }
+
   // Resubmission applies to both protocols: a fault can push an entry out
   // of its synchrony window, and only retrying clients make the post-fault
-  // progress invariant checkable.
-  if (rng.next_bernoulli(0.5)) {
+  // progress invariant checkable. Open-loop pools carry their own retry
+  // ladder, so closed-loop resubmission stays off for those plans.
+  if (!plan.open_loop() && rng.next_bernoulli(0.5)) {
     plan.resubmit_timeout = ms(800) + ms(400) * rng.next_below(3);
   }
   // Warmup + a fault window + the post-fault tail must all fit; the tail
@@ -105,9 +115,14 @@ ScenarioPlan generate_plan(std::uint64_t seed) {
 
     // Crash/restart windows on distinct correct nodes. Windows may overlap
     // only while the number of concurrently-down nodes stays within the
-    // remaining budget; a draw that would exceed it is discarded.
+    // remaining budget; a draw that would exceed it is discarded. Open-loop
+    // plans exclude crashes entirely: mempool contents are not journaled,
+    // so a restart would lose admitted transactions by design and every
+    // liveness invariant about them would be vacuous or wrong.
     const std::size_t want_crashes =
-        crash_budget == 0 ? 0 : rng.next_below(plan.n == 4 ? 3 : 4);
+        (crash_budget == 0 || plan.open_loop())
+            ? 0
+            : rng.next_below(plan.n == 4 ? 3 : 4);
     std::vector<bool> used(plan.n, false);
     for (const ByzFault& b : plan.byz) used[b.node] = true;
     for (std::size_t i = 0; i < want_crashes; ++i) {
@@ -189,6 +204,50 @@ ScenarioPlan generate_plan(std::uint64_t seed) {
     plan.delays.push_back(d);
   }
 
+  // Open-loop workload faults: fee spikes reorder the mempool under its
+  // incumbents, overflow ticks slam admission with a burst, flaps shrink
+  // capacity mid-run and force the eviction/backpressure path.
+  if (plan.open_loop()) {
+    const TimeNs lo = kWarmup;
+    const TimeNs hi = plan.duration - tail - ms(200);
+    if (hi > lo) {
+      const auto window_start = [&]() {
+        return lo + rng.next_below(static_cast<std::uint64_t>(hi - lo));
+      };
+      const std::size_t want_spikes = rng.next_below(2);
+      for (std::size_t i = 0; i < want_spikes; ++i) {
+        FeeSpikeFault s;
+        s.from = window_start();
+        s.to = std::min<TimeNs>(s.from + ms(200) + ms(100) * rng.next_below(5),
+                                plan.duration - tail);
+        s.mult = 2 + static_cast<std::uint32_t>(rng.next_below(7));
+        if (s.to <= s.from) continue;
+        plan.fee_spikes.push_back(s);
+      }
+      const std::size_t want_overflows = rng.next_below(3);
+      for (std::size_t i = 0; i < want_overflows; ++i) {
+        OverflowFault o;
+        o.at = window_start();
+        o.txs = plan.mempool_capacity *
+                (1 + static_cast<std::uint32_t>(rng.next_below(3)));
+        plan.overflows.push_back(o);
+      }
+      const std::size_t want_flaps = rng.next_below(2);
+      for (std::size_t i = 0; i < want_flaps; ++i) {
+        FlapFault fl;
+        fl.from = window_start();
+        fl.to = std::min<TimeNs>(
+            fl.from + ms(150) + ms(100) * rng.next_below(4),
+            plan.duration - tail);
+        fl.capacity = std::max<std::uint32_t>(
+            1, plan.mempool_capacity >>
+                   (1 + static_cast<std::uint32_t>(rng.next_below(3))));
+        if (fl.to <= fl.from) continue;
+        plan.flaps.push_back(fl);
+      }
+    }
+  }
+
   return plan;
 }
 
@@ -205,6 +264,10 @@ std::string serialize_plan(const ScenarioPlan& plan) {
   out << "threads " << plan.threads << "\n";
   out << "state_sync " << (plan.state_sync ? 1 : 0) << "\n";
   out << "resubmit_ms " << plan.resubmit_timeout / kNsPerMs << "\n";
+  if (plan.open_loop()) {
+    out << "mempool " << plan.mempool_capacity << "\n";
+    out << "arrival_rate " << plan.arrival_rate << "\n";
+  }
   for (const CrashFault& c : plan.crashes) {
     out << "crash node=" << c.node << " crash_ms=" << c.crash_at / kNsPerMs
         << " restart_ms=" << c.restart_at / kNsPerMs
@@ -225,6 +288,18 @@ std::string serialize_plan(const ScenarioPlan& plan) {
   }
   for (const ByzFault& b : plan.byz) {
     out << "byz node=" << b.node << " kind=" << to_string(b.kind) << "\n";
+  }
+  for (const FeeSpikeFault& s : plan.fee_spikes) {
+    out << "fee_spike from_ms=" << s.from / kNsPerMs
+        << " to_ms=" << s.to / kNsPerMs << " mult=" << s.mult << "\n";
+  }
+  for (const OverflowFault& o : plan.overflows) {
+    out << "overflow at_ms=" << o.at / kNsPerMs << " txs=" << o.txs << "\n";
+  }
+  for (const FlapFault& fl : plan.flaps) {
+    out << "flap from_ms=" << fl.from / kNsPerMs
+        << " to_ms=" << fl.to / kNsPerMs << " capacity=" << fl.capacity
+        << "\n";
   }
   return out.str();
 }
@@ -323,6 +398,41 @@ bool parse_plan(const std::string& text, ScenarioPlan& plan,
     } else if (word == "resubmit_ms") {
       if (!scalar_u64(v)) return fail("bad resubmit_ms");
       plan.resubmit_timeout = static_cast<TimeNs>(v) * kNsPerMs;
+    } else if (word == "mempool") {
+      if (!scalar_u64(v)) return fail("bad mempool");
+      plan.mempool_capacity = static_cast<std::uint32_t>(v);
+    } else if (word == "arrival_rate") {
+      if (!scalar_u64(v)) return fail("bad arrival_rate");
+      plan.arrival_rate = static_cast<std::uint32_t>(v);
+    } else if (word == "fee_spike" || word == "overflow" || word == "flap") {
+      std::vector<std::pair<std::string, std::string>> kv;
+      if (!split_kv(ls, kv)) return fail("malformed key=value list");
+      FeeSpikeFault s;
+      OverflowFault o;
+      FlapFault fl;
+      for (const auto& [key, value] : kv) {
+        std::uint64_t num = 0;
+        if (!to_u64(value, num)) return fail("bad " + word + " field '" + key + "'");
+        if (word == "fee_spike") {
+          if (key == "from_ms") s.from = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "to_ms") s.to = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "mult") s.mult = static_cast<std::uint32_t>(num);
+          else return fail("bad fee_spike field '" + key + "'");
+        } else if (word == "overflow") {
+          if (key == "at_ms") o.at = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "txs") o.txs = static_cast<std::uint32_t>(num);
+          else return fail("bad overflow field '" + key + "'");
+        } else {  // flap
+          if (key == "from_ms") fl.from = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "to_ms") fl.to = static_cast<TimeNs>(num) * kNsPerMs;
+          else if (key == "capacity")
+            fl.capacity = static_cast<std::uint32_t>(num);
+          else return fail("bad flap field '" + key + "'");
+        }
+      }
+      if (word == "fee_spike") plan.fee_spikes.push_back(s);
+      else if (word == "overflow") plan.overflows.push_back(o);
+      else plan.flaps.push_back(fl);
     } else if (word == "crash" || word == "partition" || word == "delay" ||
                word == "byz") {
       std::vector<std::pair<std::string, std::string>> kv;
@@ -453,6 +563,54 @@ bool validate_plan(const ScenarioPlan& plan, std::string& error) {
     }
     if (d.max_extra < 0 || d.max_extra > ms(5000)) {
       return fail("delay extra must be in [0, 5s]");
+    }
+  }
+  if (plan.open_loop()) {
+    if (plan.mempool_capacity > 4096) {
+      return fail("mempool capacity must be in [1, 4096]");
+    }
+    if (plan.arrival_rate == 0 || plan.arrival_rate > 2000) {
+      return fail("arrival_rate must be in [1, 2000] for open-loop plans");
+    }
+    if (!plan.crashes.empty()) {
+      return fail("open-loop plans exclude crash faults (mempool not journaled)");
+    }
+    if (plan.resubmit_timeout != 0) {
+      return fail("open-loop plans use the pools' own backoff, not resubmit");
+    }
+  } else {
+    if (plan.arrival_rate != 0) {
+      return fail("arrival_rate without a mempool capacity");
+    }
+    if (!plan.fee_spikes.empty() || !plan.overflows.empty() ||
+        !plan.flaps.empty()) {
+      return fail("workload faults require an open-loop plan");
+    }
+  }
+  for (const FeeSpikeFault& s : plan.fee_spikes) {
+    if (s.from < 0 || s.to <= s.from ||
+        s.to > plan.duration - plan.required_tail()) {
+      return fail("fee_spike window outside the run (or inside the quiet tail)");
+    }
+    if (s.mult < 2 || s.mult > 64) {
+      return fail("fee_spike mult must be in [2, 64]");
+    }
+  }
+  for (const OverflowFault& o : plan.overflows) {
+    if (o.at <= 0 || o.at > plan.duration - plan.required_tail()) {
+      return fail("overflow tick outside the run (or inside the quiet tail)");
+    }
+    if (o.txs == 0 || o.txs > 65536) {
+      return fail("overflow txs must be in [1, 65536]");
+    }
+  }
+  for (const FlapFault& fl : plan.flaps) {
+    if (fl.from < 0 || fl.to <= fl.from ||
+        fl.to > plan.duration - plan.required_tail()) {
+      return fail("flap window outside the run (or inside the quiet tail)");
+    }
+    if (fl.capacity == 0 || fl.capacity > plan.mempool_capacity) {
+      return fail("flap capacity must be in [1, mempool capacity]");
     }
   }
   error.clear();

@@ -76,6 +76,34 @@ struct ByzFault {
   ByzKind kind = ByzKind::kSilent;
 };
 
+/// Open-loop workload faults (only valid on plans with a mempool — see
+/// ScenarioPlan::open_loop()). All of them exercise admission/backpressure
+/// edges rather than the consensus protocol itself.
+
+/// Every open-loop pool multiplies its fee bids inside the window — a fee
+/// spike reorders the mempool under the incumbents and drives evictions.
+struct FeeSpikeFault {
+  TimeNs from = 0;
+  TimeNs to = 0;
+  std::uint32_t mult = 2;
+};
+
+/// Every open-loop pool emits `txs` extra arrivals at one instant —
+/// overflow-at-tick, the worst-case admission burst.
+struct OverflowFault {
+  TimeNs at = 0;
+  std::uint32_t txs = 0;
+};
+
+/// Every node's mempool shrinks to `capacity` inside the window (evicting
+/// the surplus through the reject path) and is restored after — an
+/// admission flap.
+struct FlapFault {
+  TimeNs from = 0;
+  TimeNs to = 0;
+  std::uint32_t capacity = 8;
+};
+
 enum class Protocol : std::uint8_t { kLyra = 0, kPompe = 1 };
 
 /// Every fault (including heals and restarts) must end this long before the
@@ -92,6 +120,17 @@ inline constexpr TimeNs kFaultTail = ms(2500);
 /// Faults start after the cluster has warmed up (distance probes, first
 /// client waves) so they hit a live protocol, not an idle one.
 inline constexpr TimeNs kFaultWarmup = ms(800);
+/// Extra tail for open-loop plans: arrivals stop required_tail() before
+/// the end, and the last transaction still needs to drain — worst case it
+/// bounces off a full mempool kOpenLoopRetries times at kOpenLoopBackoff
+/// (doubling, capped at kOpenLoopBackoffCap) before its terminal reject,
+/// or sits in a partial batch until the flush timer carves it.
+inline constexpr TimeNs kOpenLoopDrain = ms(1500);
+/// The runner's fixed open-loop retry policy (small on purpose: the drain
+/// bound above covers the full retry ladder plus one commit).
+inline constexpr std::uint32_t kOpenLoopRetries = 3;
+inline constexpr TimeNs kOpenLoopBackoff = ms(100);
+inline constexpr TimeNs kOpenLoopBackoffCap = ms(400);
 
 /// The complete scenario: configuration axes plus the fault list.
 struct ScenarioPlan {
@@ -105,16 +144,32 @@ struct ScenarioPlan {
   bool state_sync = false;
   TimeNs resubmit_timeout = 0;  ///< 0 = resubmission off
 
+  /// Open-loop mode: > 0 gives every node a fee-priority mempool of this
+  /// capacity and replaces the closed-loop pools with open-loop traffic
+  /// sources at `arrival_rate` tx/s per node (docs/WORKLOAD.md). Open-loop
+  /// plans exclude crash faults (mempool contents are not journaled) and
+  /// closed-loop resubmission (the open pools carry their own backoff).
+  std::uint32_t mempool_capacity = 0;
+  std::uint32_t arrival_rate = 0;  ///< tx/s per pool; 0 only when closed
+
   std::vector<CrashFault> crashes;
   std::vector<PartitionFault> partitions;
   std::vector<DelayFault> delays;
   std::vector<ByzFault> byz;
+  std::vector<FeeSpikeFault> fee_spikes;
+  std::vector<OverflowFault> overflows;
+  std::vector<FlapFault> flaps;
 
   std::uint32_t f() const { return (n - 1) / 3; }
+  bool open_loop() const { return mempool_capacity > 0; }
   /// Quiet time every fault must leave before the end of the run.
-  TimeNs required_tail() const { return kFaultTail + 2 * resubmit_timeout; }
+  TimeNs required_tail() const {
+    return kFaultTail + 2 * resubmit_timeout +
+           (open_loop() ? kOpenLoopDrain : 0);
+  }
   std::size_t fault_count() const {
-    return crashes.size() + partitions.size() + delays.size() + byz.size();
+    return crashes.size() + partitions.size() + delays.size() + byz.size() +
+           fee_spikes.size() + overflows.size() + flaps.size();
   }
 };
 

@@ -7,6 +7,7 @@
 #include "harness/lyra_cluster.hpp"
 #include "harness/pompe_cluster.hpp"
 #include "support/hex.hpp"
+#include "workload/types.hpp"
 
 namespace lyra::fuzz {
 
@@ -230,6 +231,64 @@ void check_resync_gate_quorum(const CheckContext& ctx,
   }
 }
 
+void check_mempool_no_double_commit(const CheckContext& ctx,
+                                    std::vector<Violation>& out) {
+  // An admitted transaction must enter the committed order at most once:
+  // the mempool's seen-set retains carved ids forever and every submission
+  // of a tx (including retries after a reject) targets the same node, so a
+  // duplicate in any single ledger means admission dedup broke. Checked
+  // per node — cross-node duplication is impossible by construction (ids
+  // embed the originating pool).
+  if (!ctx.plan->open_loop()) return;
+  if (ctx.pompe != nullptr) {
+    for (NodeId i = 0; i < ctx.plan->n; ++i) {
+      const auto& node = ctx.pompe->node(i);
+      std::set<std::uint64_t> seen;
+      bool flagged = false;
+      for (const pompe::PompeCommitted& c : node.ledger()) {
+        const Bytes* payload = node.batch_payload(c.batch_digest);
+        if (payload == nullptr) continue;
+        std::vector<workload::WorkloadTx> txs;
+        if (!workload::decode_batch(*payload, &txs)) continue;
+        for (const workload::WorkloadTx& tx : txs) {
+          if (seen.insert(tx.id).second) continue;
+          out.push_back({"mempool-no-double-commit",
+                         node_str(i) + ": workload tx " +
+                             std::to_string(tx.id) +
+                             " appears twice in the committed order",
+                         ctx.now});
+          flagged = true;
+          break;  // one witness per node is enough to triage
+        }
+        if (flagged) break;
+      }
+    }
+    return;
+  }
+  for (NodeId i : correct_alive_lyra(ctx)) {
+    const auto& ledger = ctx.lyra->node(i).ledger();
+    std::set<std::uint64_t> seen;
+    bool flagged = false;
+    for (const core::CommittedBatch& entry : ledger) {
+      // Payload is empty until revealed; a not-yet-revealed batch is
+      // checked on a later sweep once reconstruction finishes.
+      std::vector<workload::WorkloadTx> txs;
+      if (!workload::decode_batch(entry.payload, &txs)) continue;
+      for (const workload::WorkloadTx& tx : txs) {
+        if (seen.insert(tx.id).second) continue;
+        out.push_back({"mempool-no-double-commit",
+                       node_str(i) + ": workload tx " +
+                           std::to_string(tx.id) +
+                           " appears twice in the committed order",
+                       ctx.now});
+        flagged = true;
+        break;
+      }
+      if (flagged) break;
+    }
+  }
+}
+
 // --- end-of-run checks ---
 
 void check_recovery_convergence(const CheckContext& ctx,
@@ -287,6 +346,34 @@ void check_post_fault_progress(const CheckContext& ctx,
   }
 }
 
+void check_open_loop_resolution(const CheckContext& ctx,
+                                std::vector<Violation>& out) {
+  // Every open-loop transaction must reach a terminal state by the end of
+  // the run: committed, or rejected kOpenLoopRetries + 1 times. Arrivals
+  // stop required_tail() before the end (which includes kOpenLoopDrain on
+  // open-loop plans), so a transaction still outstanding here was dropped
+  // by a node, lost its commit notify, or escaped the retry ladder.
+  if (!ctx.final_phase || !ctx.plan->open_loop()) return;
+  const auto& pools = ctx.lyra != nullptr ? ctx.lyra->open_pools()
+                                          : ctx.pompe->open_pools();
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    const std::uint64_t stuck = pools[p]->unresolved();
+    if (stuck == 0) continue;
+    std::string ids;
+    for (std::uint64_t id : pools[p]->unresolved_ids(4)) {
+      if (!ids.empty()) ids += ", ";
+      ids += std::to_string(id);
+    }
+    out.push_back({"open-loop-resolution",
+                   "pool " + std::to_string(p) + ": " +
+                       std::to_string(stuck) +
+                       " transaction(s) neither committed nor terminally "
+                       "rejected (e.g. ids " +
+                       ids + ")",
+                   ctx.now});
+  }
+}
+
 void check_client_resubmit_lag(const CheckContext& ctx,
                                std::vector<Violation>& out) {
   if (!ctx.final_phase || ctx.plan->resubmit_timeout == 0) return;
@@ -326,8 +413,11 @@ InvariantRegistry InvariantRegistry::standard() {
   r.add("per-sender-order", /*during=*/true, &check_per_sender_order);
   r.add("lambda-fairness", /*during=*/true, &check_lambda_fairness);
   r.add("resync-gate-quorum", /*during=*/true, &check_resync_gate_quorum);
+  r.add("mempool-no-double-commit", /*during=*/true,
+        &check_mempool_no_double_commit);
   r.add("recovery-convergence", /*during=*/false, &check_recovery_convergence);
   r.add("post-fault-progress", /*during=*/false, &check_post_fault_progress);
+  r.add("open-loop-resolution", /*during=*/false, &check_open_loop_resolution);
   r.add("client-resubmit-lag", /*during=*/false, &check_client_resubmit_lag);
   return r;
 }

@@ -51,8 +51,10 @@ using CheckFn = void (*)(const CheckContext&, std::vector<Violation>&);
 ///   per-sender-order        per-proposer instance indexes in order
 ///   lambda-fairness         late_accepts == 0 on correct nodes (Lemma 6)
 ///   resync-gate-quorum      gate reopened only after f+1 peer replies
+///   mempool-no-double-commit  an admitted tx enters the order at most once
 ///   recovery-convergence    every restart resolved, resync gates open
 ///   post-fault-progress     commits after the last fault window
+///   open-loop-resolution    every open-loop tx commits or terminally rejects
 ///   client-resubmit-lag     resubmit timer fires at the earliest deadline
 ///
 /// serial==parallel equality is run-level (it needs a second run of the

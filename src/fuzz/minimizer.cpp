@@ -118,6 +118,24 @@ MinimizeResult minimize_plan(
       if (accept(c, "drop byz")) progress = true;
       else ++i;
     }
+    for (std::size_t i = 0; i < result.plan.fee_spikes.size();) {
+      ScenarioPlan c = result.plan;
+      c.fee_spikes.erase(c.fee_spikes.begin() + i);
+      if (accept(c, "drop fee spike")) progress = true;
+      else ++i;
+    }
+    for (std::size_t i = 0; i < result.plan.overflows.size();) {
+      ScenarioPlan c = result.plan;
+      c.overflows.erase(c.overflows.begin() + i);
+      if (accept(c, "drop overflow")) progress = true;
+      else ++i;
+    }
+    for (std::size_t i = 0; i < result.plan.flaps.size();) {
+      ScenarioPlan c = result.plan;
+      c.flaps.erase(c.flaps.begin() + i);
+      if (accept(c, "drop flap")) progress = true;
+      else ++i;
+    }
 
     // 2. Drop disk damage inside surviving crash windows.
     for (std::size_t i = 0; i < result.plan.crashes.size(); ++i) {
@@ -186,6 +204,29 @@ MinimizeResult minimize_plan(
       if (half < ms(150)) continue;
       cr.restart_at = cr.crash_at + half;
       if (accept(c, "halve crash window")) progress = true;
+    }
+    for (std::size_t i = 0; i < result.plan.fee_spikes.size(); ++i) {
+      ScenarioPlan c = result.plan;
+      FeeSpikeFault& s = c.fee_spikes[i];
+      const TimeNs half = (s.to - s.from) / 2;
+      if (half < ms(100)) continue;
+      s.to = s.from + half;
+      if (accept(c, "halve fee spike")) progress = true;
+    }
+    for (std::size_t i = 0; i < result.plan.flaps.size(); ++i) {
+      ScenarioPlan c = result.plan;
+      FlapFault& fl = c.flaps[i];
+      const TimeNs half = (fl.to - fl.from) / 2;
+      if (half < ms(100)) continue;
+      fl.to = fl.from + half;
+      if (accept(c, "halve flap")) progress = true;
+    }
+    for (std::size_t i = 0; i < result.plan.overflows.size(); ++i) {
+      ScenarioPlan c = result.plan;
+      OverflowFault& o = c.overflows[i];
+      if (o.txs < 16) continue;
+      o.txs /= 2;
+      if (accept(c, "halve overflow")) progress = true;
     }
     while (result.plan.duration > ms(2500)) {
       ScenarioPlan c = result.plan;

@@ -10,6 +10,7 @@
 #include "fuzz/fuzz_adversary.hpp"
 #include "harness/lyra_cluster.hpp"
 #include "harness/pompe_cluster.hpp"
+#include "workload/open_loop.hpp"
 
 namespace lyra::fuzz {
 
@@ -30,7 +31,95 @@ TimeNs last_fault_end(const ScenarioPlan& plan) {
   for (const CrashFault& c : plan.crashes) end = std::max(end, c.restart_at);
   for (const PartitionFault& p : plan.partitions) end = std::max(end, p.to);
   for (const DelayFault& d : plan.delays) end = std::max(end, d.to);
+  for (const FeeSpikeFault& s : plan.fee_spikes) end = std::max(end, s.to);
+  for (const OverflowFault& o : plan.overflows) end = std::max(end, o.at);
+  for (const FlapFault& fl : plan.flaps) end = std::max(end, fl.to);
   return end;  // 0 when the plan only has whole-run (Byzantine) faults
+}
+
+/// Workload knobs for open-loop plans. Fixed small retry ladder: the plan
+/// only chooses capacity and rate, and kOpenLoopDrain was sized for this
+/// ladder (see fault_program.hpp).
+workload::OpenLoopOptions make_open_loop_options(const ScenarioPlan& plan) {
+  workload::OpenLoopOptions o;
+  o.arrival_rate = plan.arrival_rate;
+  o.accounts = 1000;
+  o.max_retries = kOpenLoopRetries;
+  o.retry_backoff = kOpenLoopBackoff;
+  o.retry_backoff_cap = kOpenLoopBackoffCap;
+  o.start_at = kClientStart;
+  // Arrivals stop at the head of the quiet tail so every transaction can
+  // reach a terminal state before the end-of-run resolution sweep.
+  o.stop_at = plan.duration - plan.required_tail();
+  o.measure_from = kClientStart;
+  o.measure_to = plan.duration;
+  return o;
+}
+
+/// Schedules the open-loop workload faults. All hooks run as ownerless
+/// barrier events, so mutating pools and node mempools is race-free under
+/// the parallel executor. Open-loop plans have no crash faults, so every
+/// node is alive whenever a flap fires.
+template <typename Cluster>
+void schedule_workload_faults(sim::Simulation& sim, Cluster& cluster,
+                              const ScenarioPlan& plan) {
+  for (const FeeSpikeFault& s : plan.fee_spikes) {
+    sim.schedule_at(s.from, [&cluster, s] {
+      for (const auto& pool : cluster.open_pools()) {
+        pool->set_fee_multiplier(static_cast<double>(s.mult));
+      }
+    });
+    sim.schedule_at(s.to, [&cluster] {
+      for (const auto& pool : cluster.open_pools()) {
+        pool->set_fee_multiplier(1.0);
+      }
+    });
+  }
+  for (const OverflowFault& o : plan.overflows) {
+    sim.schedule_at(o.at, [&cluster, o] {
+      for (const auto& pool : cluster.open_pools()) pool->inject_burst(o.txs);
+    });
+  }
+  for (const FlapFault& fl : plan.flaps) {
+    sim.schedule_at(fl.from, [&cluster, &plan, fl] {
+      for (NodeId i = 0; i < plan.n; ++i) {
+        cluster.node(i).set_mempool_capacity(fl.capacity);
+      }
+    });
+    sim.schedule_at(fl.to, [&cluster, &plan] {
+      for (NodeId i = 0; i < plan.n; ++i) {
+        cluster.node(i).set_mempool_capacity(plan.mempool_capacity);
+      }
+    });
+  }
+}
+
+template <typename Cluster>
+void collect_open_loop_report(const Cluster& cluster, RunReport& rep) {
+  for (const auto& pool : cluster.open_pools()) {
+    const workload::OpenLoopStats& s = pool->stats();
+    rep.committed_txs += s.committed_total;
+    rep.resubmissions += s.resubmissions;
+    rep.offered_txs += s.offered;
+    rep.backpressure_rejects += s.rejected_events;
+    rep.terminal_rejects += s.terminal_rejects;
+  }
+}
+
+/// Open-loop outcome digest: offered/terminal counts and the unresolved
+/// set size pin the pools' externally-observable state, over and above the
+/// ledgers.
+void add_open_loop_digest(
+    crypto::Hasher& h,
+    const std::vector<std::unique_ptr<workload::OpenLoopClientPool>>& pools) {
+  for (const auto& pool : pools) {
+    const workload::OpenLoopStats& s = pool->stats();
+    h.add_u64(s.offered);
+    h.add_u64(s.committed_total);
+    h.add_u64(s.terminal_rejects);
+    h.add_u64(s.resubmissions);
+    h.add_u64(pool->unresolved());
+  }
 }
 
 bool is_byz_kind(const ScenarioPlan& plan, NodeId node, ByzKind kind) {
@@ -127,6 +216,7 @@ crypto::Digest lyra_run_digest(harness::LyraCluster& cluster,
     h.add_u64(pool->committed_total());
     h.add_u64(pool->resubmissions());
   }
+  add_open_loop_digest(h, cluster.open_pools());
   return h.digest();
 }
 
@@ -145,6 +235,7 @@ crypto::Digest pompe_run_digest(harness::PompeCluster& cluster,
   for (const auto& pool : cluster.pools()) {
     h.add_u64(pool->committed_total());
   }
+  add_open_loop_digest(h, cluster.open_pools());
   return h.digest();
 }
 
@@ -175,7 +266,10 @@ void run_lyra_plan(const ScenarioPlan& plan, const RunOptions& opts,
   co.config.f = plan.f();
   co.config.delta = ms(160);  // 1.2x the longest one-way leg
   co.config.batch_size = plan.batch_size;
-  co.config.retain_payloads = plan.state_sync;
+  // Open-loop plans keep payloads so the double-commit invariant can
+  // decode committed workload batches.
+  co.config.retain_payloads = plan.state_sync || plan.open_loop();
+  co.config.mempool_capacity = plan.mempool_capacity;
   co.topology = benchmark_topology(plan.n);
   co.seed = plan.seed;
   co.threads = threads;
@@ -191,6 +285,10 @@ void run_lyra_plan(const ScenarioPlan& plan, const RunOptions& opts,
   }
   for (NodeId i = 0; i < plan.n; ++i) {
     if (is_byz_kind(plan, i, ByzKind::kSilent)) continue;  // dead target
+    if (plan.open_loop()) {
+      cluster.add_open_loop_pool(i, make_open_loop_options(plan), plan.seed);
+      continue;
+    }
     client::ClientPool& pool = cluster.add_client_pool(
         i, plan.clients_per_node, kClientStart, kClientStart, plan.duration);
     if (plan.resubmit_timeout > 0) {
@@ -199,6 +297,7 @@ void run_lyra_plan(const ScenarioPlan& plan, const RunOptions& opts,
   }
 
   sim::Simulation& sim = cluster.simulation();
+  schedule_workload_faults(sim, cluster, plan);
   for (const CrashFault& c : plan.crashes) {
     // Guarded callbacks instead of schedule_crash_restart: a corpus plan
     // may race faults in ways the bare harness hooks would assert on.
@@ -258,6 +357,7 @@ void run_lyra_plan(const ScenarioPlan& plan, const RunOptions& opts,
     rep.committed_txs += pool->committed_total();
     rep.resubmissions += pool->resubmissions();
   }
+  collect_open_loop_report(cluster, rep);
   digest = lyra_run_digest(cluster, plan);
 }
 
@@ -270,6 +370,7 @@ void run_pompe_plan(const ScenarioPlan& plan, const RunOptions& opts,
   co.config.delta = ms(160);
   co.config.batch_size = plan.batch_size;
   co.config.initial_leader = 0;
+  co.config.mempool_capacity = plan.mempool_capacity;
   co.topology = benchmark_topology(plan.n);
   co.seed = plan.seed;
   co.threads = threads;
@@ -280,6 +381,10 @@ void run_pompe_plan(const ScenarioPlan& plan, const RunOptions& opts,
     cluster.network().set_adversary(&adversary);
   }
   for (NodeId i = 0; i < plan.n; ++i) {
+    if (plan.open_loop()) {
+      cluster.add_open_loop_pool(i, make_open_loop_options(plan), plan.seed);
+      continue;
+    }
     client::ClientPool& pool = cluster.add_client_pool(
         i, plan.clients_per_node, kClientStart, kClientStart, plan.duration);
     if (plan.resubmit_timeout > 0) {
@@ -288,6 +393,7 @@ void run_pompe_plan(const ScenarioPlan& plan, const RunOptions& opts,
   }
 
   sim::Simulation& sim = cluster.simulation();
+  schedule_workload_faults(sim, cluster, plan);
   std::size_t ledger_at_last_fault = 0;
   const TimeNs fault_end = last_fault_end(plan);
   if (fault_end > 0 && fault_end < plan.duration) {
@@ -321,6 +427,7 @@ void run_pompe_plan(const ScenarioPlan& plan, const RunOptions& opts,
     rep.committed_txs += pool->committed_total();
     rep.resubmissions += pool->resubmissions();
   }
+  collect_open_loop_report(cluster, rep);
   digest = pompe_run_digest(cluster, plan);
 }
 

@@ -35,6 +35,10 @@ struct RunReport {
   std::uint64_t partitioned_messages = 0;
   std::uint64_t delayed_messages = 0;
   std::uint64_t sync_installs_refused = 0;
+  // Open-loop plans only (all zero otherwise).
+  std::uint64_t offered_txs = 0;
+  std::uint64_t backpressure_rejects = 0;
+  std::uint64_t terminal_rejects = 0;
 
   bool ok() const { return !invalid_plan && violations.empty(); }
 };

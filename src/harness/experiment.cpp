@@ -5,8 +5,12 @@
 #include <memory>
 
 #include "attacks/byzantine_lyra.hpp"
+#include "attacks/sandwich.hpp"
 #include "harness/lyra_cluster.hpp"
 #include "harness/pompe_cluster.hpp"
+#include "workload/economics.hpp"
+#include "workload/mempool.hpp"
+#include "workload/open_loop.hpp"
 
 namespace lyra::harness {
 
@@ -49,6 +53,75 @@ RunResult collect_client_stats(Cluster& cluster, const RunConfig& config) {
   return r;
 }
 
+workload::OpenLoopOptions make_open_loop_options(const RunConfig& config) {
+  const RunConfig::Workload& w = config.workload;
+  workload::OpenLoopOptions o;
+  o.arrival_rate = w.arrival_rate;
+  o.burst_every_ms = w.burst_every_ms;
+  o.burst_len_ms = w.burst_len_ms;
+  o.burst_mult = w.burst_mult;
+  o.accounts = w.accounts;
+  o.zipf_s = w.zipf_s;
+  o.fee_model = w.fee_model;
+  o.base_fee = w.base_fee;
+  o.base_value = w.base_value;
+  o.value_sigma = w.value_sigma;
+  o.max_retries = w.max_retries;
+  o.retry_backoff = w.retry_backoff;
+  o.start_at = config.client_start;
+  o.measure_from = config.measure_from;
+  o.measure_to = config.duration;
+  return o;
+}
+
+attacks::SandwichOptions make_sandwich_options(const RunConfig& config) {
+  attacks::SandwichOptions o;
+  o.value_threshold = config.workload.victim_value_threshold;
+  return o;
+}
+
+/// Aggregates open-loop pool measurements (latency, goodput, offered load,
+/// backpressure) in place of the closed-loop collect_client_stats.
+template <class Cluster>
+RunResult collect_open_loop_stats(Cluster& cluster, const RunConfig& config) {
+  RunResult r;
+  Samples all_latencies;
+  std::uint64_t offered = 0;
+  for (const auto& pool : cluster.open_pools()) {
+    const workload::OpenLoopStats& s = pool->stats();
+    r.committed_txs += s.committed_in_window;
+    offered += s.offered;
+    r.rejected_submits += s.rejected_events;
+    r.terminal_rejects += s.terminal_rejects;
+    r.resubmissions += s.resubmissions;
+    for (double v : pool->latency_ms().values()) all_latencies.add(v);
+  }
+  const double window_s =
+      to_ms(config.duration - config.measure_from) / 1000.0;
+  const double offered_s =
+      to_ms(config.duration - config.client_start) / 1000.0;
+  r.throughput_tps = static_cast<double>(r.committed_txs) / window_s;
+  r.goodput_tps = r.throughput_tps;
+  r.offered_txs = offered;
+  r.offered_tps = static_cast<double>(offered) / offered_s;
+  if (all_latencies.count() > 0) {
+    r.mean_latency_ms = all_latencies.mean();
+    r.p50_latency_ms = all_latencies.percentile(0.5);
+    r.p99_latency_ms = all_latencies.percentile(0.99);
+  }
+  return r;
+}
+
+void fold_economics(const workload::EconomicsReport& rep, RunResult* r) {
+  r->victims_targeted = rep.victims_targeted;
+  r->frontrun_successes = rep.frontrun_successes;
+  r->sandwich_completes = rep.sandwich_completes;
+  r->attacks_committed = rep.attack_committed;
+  r->extracted_value = rep.extracted_value;
+  r->adversary_profit = rep.adversary_profit;
+  r->victim_slippage = rep.victim_slippage;
+}
+
 RunResult run_lyra(const RunConfig& config) {
   LyraClusterOptions opts;
   opts.config.n = config.n;
@@ -59,17 +132,27 @@ RunResult run_lyra(const RunConfig& config) {
   opts.config.obfuscate = config.obfuscate;
   opts.config.max_outstanding_proposals = config.max_outstanding;
   opts.config.memoize_verification = config.memoize_verify;
-  // Flat host memory by default; serving reveal catch-up needs the bytes.
-  opts.config.retain_payloads = config.wants_state_sync();
+  // Flat host memory by default; serving reveal catch-up needs the bytes,
+  // and so does the economics evaluation of an open-loop ledger.
+  opts.config.retain_payloads =
+      config.wants_state_sync() || config.workload.open_loop;
+  if (config.workload.open_loop) {
+    opts.config.mempool_capacity = config.workload.mempool_capacity;
+  }
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
   opts.threads = config.threads;
   opts.durable_storage = !config.crash_restarts.empty();
   opts.state_sync = config.wants_state_sync();
-  if (config.byzantine_silent > 0 || config.replay_attackers > 0) {
+  const std::size_t sandwichers =
+      config.workload.open_loop ? config.workload.sandwich_attackers : 0;
+  if (config.byzantine_silent > 0 || config.replay_attackers > 0 ||
+      sandwichers > 0) {
     const std::size_t silent = config.byzantine_silent;
     const std::size_t replayers = config.replay_attackers;
-    opts.node_factory = [silent, replayers](
+    const std::size_t n = config.n;
+    const attacks::SandwichOptions sw = make_sandwich_options(config);
+    opts.node_factory = [silent, replayers, sandwichers, n, sw](
                             sim::Simulation* sim, net::Network* net,
                             NodeId id, const core::Config& cfg,
                             const crypto::KeyRegistry* reg)
@@ -82,16 +165,26 @@ RunResult run_lyra(const RunConfig& config) {
         return std::make_unique<attacks::ReplayInitLyraNode>(sim, net, id,
                                                              cfg, reg);
       }
+      if (id >= n - sandwichers) {
+        return std::make_unique<attacks::SandwichLyraNode>(sim, net, id,
+                                                           cfg, reg, sw);
+      }
       return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
     };
   }
 
   LyraCluster cluster(std::move(opts));
   cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);
+  const workload::OpenLoopOptions open_opts = make_open_loop_options(config);
   for (NodeId i = 0; i < config.n; ++i) {
     if (i < config.byzantine_silent) continue;  // no clients on dead nodes
-    cluster.add_client_pool(i, config.clients_per_node, config.client_start,
-                            config.measure_from, config.duration);
+    if (config.workload.open_loop) {
+      cluster.add_open_loop_pool(i, open_opts, config.seed);
+    } else {
+      cluster.add_client_pool(i, config.clients_per_node,
+                              config.client_start, config.measure_from,
+                              config.duration);
+    }
   }
   for (const RunConfig::CrashRestart& cr : config.crash_restarts) {
     cluster.schedule_crash_restart(cr.node, cr.crash_at, cr.restart_at);
@@ -112,13 +205,31 @@ RunResult run_lyra(const RunConfig& config) {
   const std::chrono::duration<double> host_elapsed =
       std::chrono::steady_clock::now() - host_start;
 
-  RunResult r = collect_client_stats(cluster, config);
+  RunResult r = config.workload.open_loop
+                    ? collect_open_loop_stats(cluster, config)
+                    : collect_client_stats(cluster, config);
   r.events_executed = executed;
   r.host_seconds = host_elapsed.count();
   r.sim_seconds = to_ms(config.duration) / 1000.0;
   r.exec_stats = cluster.simulation().executor_stats();
   r.prefix_consistent = cluster.ledgers_prefix_consistent();
   r.late_accepts = cluster.total_late_accepts();
+  if (config.workload.open_loop) {
+    for (NodeId i = 0; i < config.n; ++i) {
+      if (!cluster.node_alive(i)) continue;
+      if (const workload::Mempool* mp = cluster.node(i).mempool()) {
+        r.mempool_rejects += mp->stats().rejected_full;
+        r.mempool_evictions += mp->stats().evicted;
+      }
+    }
+    // Ledger order is identical on every correct node (prefix consistency
+    // below checks that); evaluate economics on the first non-silent one.
+    workload::EconomicsParams ep;
+    ep.slippage_bps = config.workload.slippage_bps;
+    const NodeId correct = static_cast<NodeId>(config.byzantine_silent);
+    fold_economics(
+        attacks::evaluate_lyra_economics(cluster.node(correct), ep), &r);
+  }
   r.restarts = cluster.restarts();
   r.messages_dropped = cluster.network().messages_dropped();
   for (NodeId i = 0; i < config.n; ++i) {
@@ -178,15 +289,41 @@ RunResult run_pompe(const RunConfig& config) {
   opts.config.batch_size = config.batch_size;
   opts.config.initial_leader = 0;  // Oregon
   opts.config.memoize_verification = config.memoize_verify;
+  if (config.workload.open_loop) {
+    opts.config.mempool_capacity = config.workload.mempool_capacity;
+  }
   opts.topology = benchmark_topology(config.n);
   opts.seed = config.seed;
   opts.threads = config.threads;
+  const std::size_t sandwichers =
+      config.workload.open_loop ? config.workload.sandwich_attackers : 0;
+  if (sandwichers > 0) {
+    const std::size_t n = config.n;
+    const attacks::SandwichOptions sw = make_sandwich_options(config);
+    opts.node_factory = [sandwichers, n, sw](
+                            sim::Simulation* sim, net::Network* net,
+                            NodeId id, const pompe::PompeConfig& cfg,
+                            const crypto::KeyRegistry* reg)
+        -> std::unique_ptr<pompe::PompeNode> {
+      if (id >= n - sandwichers) {
+        return std::make_unique<attacks::SandwichPompeNode>(sim, net, id,
+                                                            cfg, reg, sw);
+      }
+      return std::make_unique<pompe::PompeNode>(sim, net, id, cfg, reg);
+    };
+  }
 
   PompeCluster cluster(std::move(opts));
   cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);
+  const workload::OpenLoopOptions open_opts = make_open_loop_options(config);
   for (NodeId i = 0; i < config.n; ++i) {
-    cluster.add_client_pool(i, config.clients_per_node, config.client_start,
-                            config.measure_from, config.duration);
+    if (config.workload.open_loop) {
+      cluster.add_open_loop_pool(i, open_opts, config.seed);
+    } else {
+      cluster.add_client_pool(i, config.clients_per_node,
+                              config.client_start, config.measure_from,
+                              config.duration);
+    }
   }
   cluster.start();
   const auto host_start = std::chrono::steady_clock::now();
@@ -194,7 +331,9 @@ RunResult run_pompe(const RunConfig& config) {
   const std::chrono::duration<double> host_elapsed =
       std::chrono::steady_clock::now() - host_start;
 
-  RunResult r = collect_client_stats(cluster, config);
+  RunResult r = config.workload.open_loop
+                    ? collect_open_loop_stats(cluster, config)
+                    : collect_client_stats(cluster, config);
   r.events_executed = executed;
   r.host_seconds = host_elapsed.count();
   r.sim_seconds = to_ms(config.duration) / 1000.0;
@@ -204,6 +343,18 @@ RunResult run_pompe(const RunConfig& config) {
     r.proof_verifications += cluster.node(i).stats().proof_verifications;
     r.verify_cache_hits += cluster.node(i).stats().verify_cache_hits;
     r.verify_cache_misses += cluster.node(i).stats().verify_cache_misses;
+  }
+  if (config.workload.open_loop) {
+    for (NodeId i = 0; i < config.n; ++i) {
+      if (const workload::Mempool* mp = cluster.node(i).mempool()) {
+        r.mempool_rejects += mp->stats().rejected_full;
+        r.mempool_evictions += mp->stats().evicted;
+      }
+    }
+    workload::EconomicsParams ep;
+    ep.slippage_bps = config.workload.slippage_bps;
+    fold_economics(attacks::evaluate_pompe_economics(cluster.node(0), ep),
+                   &r);
   }
   return r;
 }

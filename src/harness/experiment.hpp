@@ -6,6 +6,7 @@
 
 #include "sim/executor_stats.hpp"
 #include "support/types.hpp"
+#include "workload/samplers.hpp"
 
 namespace lyra::harness {
 
@@ -71,6 +72,32 @@ struct RunConfig {
   /// unrecoverable disks rejoin via full state transfer.
   bool state_sync = false;
 
+  /// Open-loop workload engine (docs/WORKLOAD.md). Off by default:
+  /// open_loop=false leaves every node's mempool disabled and the runs
+  /// byte-identical to the closed-loop harness above.
+  struct Workload {
+    bool open_loop = false;
+    double arrival_rate = 200.0;  ///< tx/s per node (offered = n * rate)
+    double burst_every_ms = 0;    ///< 0 = no burst episodes
+    double burst_len_ms = 250.0;
+    double burst_mult = 4.0;
+    std::uint64_t accounts = 100000;
+    double zipf_s = 1.0;
+    std::size_t mempool_capacity = 4096;  ///< per-node bound
+    workload::FeeModel fee_model = workload::FeeModel::kUniform;
+    std::uint64_t base_fee = 100;
+    std::uint64_t base_value = 1000;
+    double value_sigma = 1.5;
+    std::uint32_t max_retries = 6;
+    TimeNs retry_backoff = ms(40);
+    /// Economic adversary: this many nodes (highest ids) run the sandwich
+    /// variant that bids fees against observed high-value victims.
+    std::size_t sandwich_attackers = 0;
+    std::uint64_t victim_value_threshold = 5000;
+    std::uint32_t slippage_bps = 50;
+  };
+  Workload workload;
+
   std::size_t f() const { return (n - 1) / 3; }
   bool wants_state_sync() const {
     if (state_sync) return true;
@@ -126,6 +153,25 @@ struct RunResult {
   std::uint64_t sync_entries_installed = 0;
   std::uint64_t catchup_reveals = 0;
   std::uint64_t unrevealed_batches = 0;  // reveal holes left at run end
+
+  // Open-loop workload runs (RunConfig::Workload; zero otherwise).
+  double offered_tps = 0.0;  // arrivals generated inside the run
+  double goodput_tps = 0.0;  // committed_in_window / window (== throughput)
+  std::uint64_t offered_txs = 0;
+  std::uint64_t rejected_submits = 0;   // backpressure signals to clients
+  std::uint64_t terminal_rejects = 0;   // dropped after max_retries
+  std::uint64_t resubmissions = 0;
+  std::uint64_t mempool_evictions = 0;  // outbid and displaced
+  std::uint64_t mempool_rejects = 0;    // refused at admission (full)
+
+  // Economic front-running metric (workload.sandwich_attackers > 0).
+  std::uint64_t victims_targeted = 0;
+  std::uint64_t frontrun_successes = 0;
+  std::uint64_t sandwich_completes = 0;
+  std::uint64_t attacks_committed = 0;
+  double extracted_value = 0.0;   // value units taken from victims
+  double adversary_profit = 0.0;  // extracted minus fee spend
+  double victim_slippage = 0.0;
 };
 
 /// Executes one run and aggregates client-side measurements.

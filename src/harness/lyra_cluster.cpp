@@ -221,6 +221,19 @@ client::ClientPool& LyraCluster::add_client_pool(NodeId target,
   return *pools_.back();
 }
 
+workload::OpenLoopClientPool& LyraCluster::add_open_loop_pool(
+    NodeId target, const workload::OpenLoopOptions& options,
+    std::uint64_t run_seed) {
+  LYRA_ASSERT(!started_, "add pools before start()");
+  LYRA_ASSERT(next_id_ < options_.topology.size(),
+              "no topology slot left for an open-loop pool");
+  auto pool = std::make_unique<workload::OpenLoopClientPool>(
+      &sim_, network_.get(), next_id_++, target, options, run_seed);
+  network_->attach(pool.get());
+  open_pools_.push_back(std::move(pool));
+  return *open_pools_.back();
+}
+
 void LyraCluster::adopt_process(std::unique_ptr<sim::Process> process) {
   LYRA_ASSERT(!started_, "adopt processes before start()");
   LYRA_ASSERT(process->id() == next_id_, "process ids must stay dense");
@@ -234,6 +247,7 @@ void LyraCluster::start() {
   started_ = true;
   for (auto& n : nodes_) n->on_start();
   for (auto& p : pools_) p->on_start();
+  for (auto& p : open_pools_) p->on_start();
   for (auto& p : extra_processes_) p->on_start();
 }
 

@@ -14,6 +14,7 @@
 #include "storage/disk.hpp"
 #include "storage/journal.hpp"
 #include "storage/recovery.hpp"
+#include "workload/open_loop.hpp"
 
 namespace lyra::harness {
 
@@ -92,6 +93,13 @@ class LyraCluster {
                                       TimeNs start_at, TimeNs measure_from,
                                       TimeNs measure_to);
 
+  /// Attaches an open-loop traffic source targeting `target`
+  /// (docs/WORKLOAD.md). Arrival and field streams derive from `run_seed`
+  /// and the pool's process id, so pool placement order does not matter.
+  workload::OpenLoopClientPool& add_open_loop_pool(
+      NodeId target, const workload::OpenLoopOptions& options,
+      std::uint64_t run_seed);
+
   /// Registers an externally-constructed process (attacker, bespoke
   /// client) with the network.
   void adopt_process(std::unique_ptr<sim::Process> process);
@@ -163,6 +171,10 @@ class LyraCluster {
   const std::vector<std::unique_ptr<client::ClientPool>>& pools() const {
     return pools_;
   }
+  const std::vector<std::unique_ptr<workload::OpenLoopClientPool>>&
+  open_pools() const {
+    return open_pools_;
+  }
 
  private:
   std::unique_ptr<core::LyraNode> build_node(NodeId id);
@@ -173,6 +185,7 @@ class LyraCluster {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<core::LyraNode>> nodes_;
   std::vector<std::unique_ptr<client::ClientPool>> pools_;
+  std::vector<std::unique_ptr<workload::OpenLoopClientPool>> open_pools_;
   std::vector<std::unique_ptr<sim::Process>> extra_processes_;
   // Per consensus node; disks outlive crashes, journals are rebuilt on
   // restart (a journal must never append to a torn pre-crash segment).

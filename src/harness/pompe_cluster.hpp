@@ -10,6 +10,7 @@
 #include "net/topology.hpp"
 #include "pompe/pompe_node.hpp"
 #include "sim/simulation.hpp"
+#include "workload/open_loop.hpp"
 
 namespace lyra::harness {
 
@@ -43,6 +44,10 @@ class PompeCluster {
   client::ClientPool& add_client_pool(NodeId target, std::uint32_t width,
                                       TimeNs start_at, TimeNs measure_from,
                                       TimeNs measure_to);
+  /// Open-loop traffic source; see LyraCluster::add_open_loop_pool.
+  workload::OpenLoopClientPool& add_open_loop_pool(
+      NodeId target, const workload::OpenLoopOptions& options,
+      std::uint64_t run_seed);
   void adopt_process(std::unique_ptr<sim::Process> process);
   NodeId next_process_id() const { return next_id_; }
 
@@ -60,6 +65,10 @@ class PompeCluster {
   const std::vector<std::unique_ptr<client::ClientPool>>& pools() const {
     return pools_;
   }
+  const std::vector<std::unique_ptr<workload::OpenLoopClientPool>>&
+  open_pools() const {
+    return open_pools_;
+  }
 
  private:
   PompeClusterOptions options_;
@@ -68,6 +77,7 @@ class PompeCluster {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<pompe::PompeNode>> nodes_;
   std::vector<std::unique_ptr<client::ClientPool>> pools_;
+  std::vector<std::unique_ptr<workload::OpenLoopClientPool>> open_pools_;
   std::vector<std::unique_ptr<sim::Process>> extra_processes_;
   NodeId next_id_;
   bool started_ = false;

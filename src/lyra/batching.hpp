@@ -22,6 +22,9 @@ class BatchAssembler {
     NodeId client = kNoNode;
     std::uint32_t count = 0;
     TimeNs submitted_at = 0;
+    /// Per-transaction ids for mempool-carved (open-loop) batches; empty
+    /// on the legacy count-aggregate and explicit-payload paths.
+    std::vector<std::uint64_t> tx_ids;
   };
 
   struct Carved {
@@ -53,7 +56,7 @@ class BatchAssembler {
       const auto take = static_cast<std::uint32_t>(
           std::min<std::size_t>(p.count, batch_size_ - out.tx_count));
 
-      out.chunks.push_back({p.client, take, p.submitted_at});
+      out.chunks.push_back({p.client, take, p.submitted_at, {}});
       out.tx_count += take;
 
       if (!p.txs.empty()) {

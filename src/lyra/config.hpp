@@ -66,6 +66,12 @@ struct Config {
   /// sees every payload.
   bool retain_payloads = true;
 
+  /// Bounded fee-priority mempool in front of batch formation (open-loop
+  /// workload engine, docs/WORKLOAD.md). 0 — the default — bypasses the
+  /// mempool entirely: submissions feed the BatchAssembler directly and
+  /// every existing run replays bit-identically.
+  std::size_t mempool_capacity = 0;
+
   /// Memoize per-node signature-verification verdicts keyed by
   /// (signer, message, mac). Repeated presentations of the same signed
   /// statement (relayed DELIVER proofs, re-broadcast INITs) answer from

@@ -32,6 +32,9 @@ LyraNode::LyraNode(sim::Simulation* sim, net::Network* network, NodeId id,
       commit_(config_),
       assembler_(config.batch_size, id) {
   LYRA_ASSERT(config.n > 3 * config.f, "need n > 3f");
+  if (config.mempool_capacity > 0) {
+    mempool_ = workload::make_fee_priority_mempool(config.mempool_capacity);
+  }
 }
 
 void LyraNode::on_start() {
@@ -168,9 +171,70 @@ void LyraNode::submit_local(BytesView tx, NodeId reply_to,
 }
 
 void LyraNode::handle_submit(const sim::Envelope& env, const SubmitMsg& m) {
+  if (mempool_ != nullptr && !m.wtxs.empty()) {
+    admit_workload(env.from, m.wtxs);
+    maybe_propose();
+    if (mempool_ != nullptr && !mempool_->empty()) arm_batch_timer();
+    return;
+  }
   assembler_.add(env.from, m.count, m.submitted_at, m.txs);
   maybe_propose();
   if (!assembler_.empty()) arm_batch_timer();
+}
+
+void LyraNode::admit_workload(NodeId from,
+                              const std::vector<workload::WorkloadTx>& txs) {
+  std::map<NodeId, std::vector<std::uint64_t>> rejects;
+  for (const workload::WorkloadTx& tx : txs) {
+    auto result = mempool_->admit(tx);
+    if (result.outcome == workload::Mempool::Outcome::kRejected) {
+      rejects[tx.client == kNoNode ? from : tx.client].push_back(tx.id);
+    }
+    for (const workload::WorkloadTx& evicted : result.evicted) {
+      rejects[evicted.client].push_back(evicted.id);
+    }
+  }
+  send_mempool_rejects(rejects);
+}
+
+void LyraNode::send_mempool_rejects(
+    const std::map<NodeId, std::vector<std::uint64_t>>& rejects) {
+  for (const auto& [client, ids] : rejects) {
+    // Self-submitted transactions (an adversary feeding its own node)
+    // have no retry loop to signal.
+    if (client == kNoNode || client == id()) continue;
+    auto msg = sim::make_payload<MempoolRejectMsg>();
+    msg->tx_ids = ids;
+    send(client, std::move(msg));
+  }
+}
+
+void LyraNode::set_mempool_capacity(std::size_t capacity) {
+  if (mempool_ == nullptr) return;
+  std::map<NodeId, std::vector<std::uint64_t>> rejects;
+  for (const workload::WorkloadTx& evicted :
+       mempool_->set_capacity(capacity)) {
+    rejects[evicted.client].push_back(evicted.id);
+  }
+  send_mempool_rejects(rejects);
+}
+
+PendingBatch LyraNode::carve_mempool(std::size_t max_txs) {
+  PendingBatch batch;
+  const std::vector<workload::WorkloadTx> txs = mempool_->take(max_txs);
+  batch.payload = workload::encode_batch(txs);
+  batch.tx_count = static_cast<std::uint32_t>(txs.size());
+  batch.nominal_bytes = batch.payload.size();
+  for (const workload::WorkloadTx& tx : txs) {
+    if (batch.chunks.empty() || batch.chunks.back().client != tx.client) {
+      batch.chunks.push_back({tx.client, 0, tx.submitted_at, {}});
+    }
+    BatchAssembler::Chunk& chunk = batch.chunks.back();
+    ++chunk.count;
+    chunk.submitted_at = std::min(chunk.submitted_at, tx.submitted_at);
+    chunk.tx_ids.push_back(tx.id);
+  }
+  return batch;
 }
 
 void LyraNode::arm_batch_timer() {
@@ -185,7 +249,10 @@ void LyraNode::arm_batch_timer() {
 
 void LyraNode::maybe_propose() {
   if (!warmed_up_) return;
-  while (assembler_.has_full_batch() &&
+  const auto mempool_full = [this] {
+    return mempool_ != nullptr && mempool_->size() >= config_.batch_size;
+  };
+  while ((assembler_.has_full_batch() || mempool_full()) &&
          own_batches_.size() < config_.max_outstanding_proposals) {
     if (now() < next_proposal_at_) {
       // NIC pacing: let the previous batch's fan-out drain first, or its
@@ -193,29 +260,43 @@ void LyraNode::maybe_propose() {
       set_timer(next_proposal_at_ - now(), [this] { maybe_propose(); });
       return;
     }
-    BatchAssembler::Carved carved = assembler_.carve();
     PendingBatch batch;
-    batch.payload = std::move(carved.payload);
-    batch.tx_count = carved.tx_count;
-    batch.nominal_bytes = carved.nominal_bytes;
-    batch.chunks = std::move(carved.chunks);
+    if (assembler_.has_full_batch()) {
+      BatchAssembler::Carved carved = assembler_.carve();
+      batch.payload = std::move(carved.payload);
+      batch.tx_count = carved.tx_count;
+      batch.nominal_bytes = carved.nominal_bytes;
+      batch.chunks = std::move(carved.chunks);
+    } else {
+      batch = carve_mempool(config_.batch_size);
+    }
     propose_batch(std::move(batch));
   }
 }
 
 void LyraNode::flush_partial_batch() {
-  if (!warmed_up_ || assembler_.empty()) return;
+  const bool mempool_pending = mempool_ != nullptr && !mempool_->empty();
+  if (!warmed_up_ || (assembler_.empty() && !mempool_pending)) return;
   if (own_batches_.size() >= config_.max_outstanding_proposals) {
     arm_batch_timer();  // retry once a slot frees up
     return;
   }
-  BatchAssembler::Carved carved = assembler_.carve();
   PendingBatch batch;
-  batch.payload = std::move(carved.payload);
-  batch.tx_count = carved.tx_count;
-  batch.nominal_bytes = carved.nominal_bytes;
-  batch.chunks = std::move(carved.chunks);
+  if (!assembler_.empty()) {
+    BatchAssembler::Carved carved = assembler_.carve();
+    batch.payload = std::move(carved.payload);
+    batch.tx_count = carved.tx_count;
+    batch.nominal_bytes = carved.nominal_bytes;
+    batch.chunks = std::move(carved.chunks);
+  } else {
+    batch = carve_mempool(config_.batch_size);
+  }
   propose_batch(std::move(batch));
+  // Rare mixed-source case: whichever source still holds transactions
+  // flushes on the next timeout.
+  if (!assembler_.empty() || (mempool_ != nullptr && !mempool_->empty())) {
+    arm_batch_timer();
+  }
 }
 
 void LyraNode::propose_batch(PendingBatch batch) {
@@ -1038,6 +1119,7 @@ void LyraNode::notify_clients(const InstanceId& inst, SeqNum seq) {
       msg->count = chunk.count;
       msg->submitted_at = chunk.submitted_at;
       msg->seq = seq;
+      msg->tx_ids = chunk.tx_ids;
       send(chunk.client, msg);
     }
   };
@@ -1049,7 +1131,9 @@ void LyraNode::notify_clients(const InstanceId& inst, SeqNum seq) {
     own_proposed_at_.erase(inst);
     // A proposal slot freed up; drain any backlog.
     maybe_propose();
-    if (!assembler_.empty()) arm_batch_timer();
+    if (!assembler_.empty() || (mempool_ != nullptr && !mempool_->empty())) {
+      arm_batch_timer();
+    }
     return;
   }
   // Replay path: a batch proposed by a pre-crash incarnation just
@@ -1299,7 +1383,7 @@ void LyraNode::restore(const storage::RecoveredState& recovered) {
     std::vector<BatchAssembler::Chunk> chunks;
     chunks.reserve(rec.chunks.size());
     for (const storage::OwnBatchChunk& chunk : rec.chunks) {
-      chunks.push_back({chunk.client, chunk.count, chunk.submitted_at});
+      chunks.push_back({chunk.client, chunk.count, chunk.submitted_at, {}});
     }
     pending_notify_.emplace(rec.inst, std::move(chunks));
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "storage/journal.hpp"
 #include "storage/recovery.hpp"
 #include "support/stats.hpp"
+#include "workload/mempool.hpp"
 
 namespace lyra::core {
 
@@ -114,6 +116,15 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
     reveal_hook_ = std::move(hook);
   }
 
+  /// Bounded fee-priority admission in front of the assembler; nullptr
+  /// unless config.mempool_capacity > 0 (docs/WORKLOAD.md).
+  workload::Mempool* mempool() { return mempool_.get(); }
+  const workload::Mempool* mempool() const { return mempool_.get(); }
+  /// Runtime capacity change (fuzz admission-flap fault); shrink-evicted
+  /// transactions earn their clients a MempoolReject. No-op without a
+  /// mempool.
+  void set_mempool_capacity(std::size_t capacity);
+
   // --- durability (src/storage) ---
 
   /// Installs the durability backend (nullptr = volatile node, the
@@ -191,6 +202,15 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
   void flush_partial_batch();
   void arm_batch_timer();
   void propose_batch(PendingBatch batch);
+  /// Admits open-loop submissions; rejected/evicted transactions earn
+  /// their clients a MempoolReject (grouped per client).
+  void admit_workload(NodeId from,
+                      const std::vector<workload::WorkloadTx>& txs);
+  void send_mempool_rejects(
+      const std::map<NodeId, std::vector<std::uint64_t>>& rejects);
+  /// Carves the highest-fee mempool transactions into a batch whose
+  /// chunks carry per-transaction ids (client-grouped, carve order).
+  PendingBatch carve_mempool(std::size_t max_txs);
 
   // --- message handlers ---
   void handle_submit(const sim::Envelope& env, const SubmitMsg& m);
@@ -275,6 +295,7 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
 
   // Proposer-side batch state.
   BatchAssembler assembler_;
+  std::unique_ptr<workload::Mempool> mempool_;  // null = legacy direct path
   bool batch_timer_armed_ = false;
   TimeNs next_proposal_at_ = 0;  // NIC pacing floor
   std::unordered_map<InstanceId, PendingBatch> own_batches_;

@@ -8,6 +8,7 @@
 #include "sim/message.hpp"
 #include "support/bytes.hpp"
 #include "support/types.hpp"
+#include "workload/types.hpp"
 
 namespace lyra::core {
 
@@ -221,27 +222,47 @@ struct ResyncReplyMsg final : LyraMsg {
 
 /// Client -> node transaction submission. `txs` carries real payloads in
 /// the examples; the benchmark workload submits compact aggregates
-/// (`count` transactions of 32 bytes each) to keep host memory flat.
+/// (`count` transactions of 32 bytes each) to keep host memory flat. The
+/// open-loop workload engine instead fills `wtxs` with individually
+/// identified transactions that go through mempool admission.
 struct SubmitMsg final : sim::Payload {
   std::uint32_t count = 0;
   TimeNs submitted_at = 0;
   std::vector<Bytes> txs;  // optional explicit payloads (size <= count)
+  std::vector<workload::WorkloadTx> wtxs;  // open-loop path (size == count)
 
   const char* name() const override { return "SUBMIT"; }
   MsgKind kind() const override { return MsgKind::kSubmit; }
-  std::size_t wire_size() const override { return 48 + count * 32; }
+  std::size_t wire_size() const override {
+    return wtxs.empty() ? 48 + count * 32
+                        : 48 + wtxs.size() * workload::kTxRecordBytes;
+  }
 };
 
 /// Node -> client commit notification for one submitted chunk; closed-loop
-/// clients resubmit upon receiving it.
+/// clients resubmit upon receiving it. For open-loop chunks, `tx_ids`
+/// names exactly which transactions committed.
 struct CommitNotifyMsg final : sim::Payload {
   std::uint32_t count = 0;
   TimeNs submitted_at = 0;
   SeqNum seq = kNoSeq;
+  std::vector<std::uint64_t> tx_ids;  // open-loop path (size == count)
 
   const char* name() const override { return "COMMIT_NOTIFY"; }
   MsgKind kind() const override { return MsgKind::kCommitNotify; }
-  std::size_t wire_size() const override { return 56; }
+  std::size_t wire_size() const override { return 56 + tx_ids.size() * 8; }
+};
+
+/// Node -> client backpressure: the named transactions were refused by
+/// (or evicted from) the bounded mempool. The client retries with backoff
+/// or gives up after its retry budget — that terminal reject is the
+/// client's signal, not a separate message.
+struct MempoolRejectMsg final : sim::Payload {
+  std::vector<std::uint64_t> tx_ids;
+
+  const char* name() const override { return "MEMPOOL_REJECT"; }
+  MsgKind kind() const override { return MsgKind::kMempoolReject; }
+  std::size_t wire_size() const override { return 32 + tx_ids.size() * 8; }
 };
 
 }  // namespace lyra::core

@@ -67,6 +67,9 @@ PompeNode::PompeNode(sim::Simulation* sim, net::Network* network, NodeId id,
                   [this](const hotstuff::Block& b) { on_block_commit(b); },
           }) {
   LYRA_ASSERT(config.n > 3 * config.f, "need n > 3f");
+  if (config.mempool_capacity > 0) {
+    mempool_ = workload::make_fee_priority_mempool(config.mempool_capacity);
+  }
 }
 
 void PompeNode::on_start() { hotstuff_.on_start(); }
@@ -111,24 +114,92 @@ void PompeNode::submit_local(BytesView tx, NodeId reply_to,
 
 void PompeNode::handle_submit(const sim::Envelope& env,
                               const core::SubmitMsg& m) {
+  if (mempool_ != nullptr && !m.wtxs.empty()) {
+    admit_workload(env.from, m.wtxs);
+    maybe_propose();
+    if (mempool_ != nullptr && !mempool_->empty()) arm_batch_timer();
+    return;
+  }
   assembler_.add(env.from, m.count, m.submitted_at, m.txs);
   maybe_propose();
-  if (!assembler_.empty() && !batch_timer_armed_) {
-    batch_timer_armed_ = true;
-    set_timer(config_.batch_timeout, [this] {
-      batch_timer_armed_ = false;
-      maybe_propose();
-      flush_partial_batch();
-    });
+  if (!assembler_.empty()) arm_batch_timer();
+}
+
+void PompeNode::arm_batch_timer() {
+  if (batch_timer_armed_) return;
+  batch_timer_armed_ = true;
+  set_timer(config_.batch_timeout, [this] {
+    batch_timer_armed_ = false;
+    maybe_propose();
+    flush_partial_batch();
+  });
+}
+
+void PompeNode::admit_workload(NodeId from,
+                               const std::vector<workload::WorkloadTx>& txs) {
+  std::map<NodeId, std::vector<std::uint64_t>> rejects;
+  for (const workload::WorkloadTx& tx : txs) {
+    auto result = mempool_->admit(tx);
+    if (result.outcome == workload::Mempool::Outcome::kRejected) {
+      rejects[tx.client == kNoNode ? from : tx.client].push_back(tx.id);
+    }
+    for (const workload::WorkloadTx& evicted : result.evicted) {
+      rejects[evicted.client].push_back(evicted.id);
+    }
   }
+  send_mempool_rejects(rejects);
+}
+
+void PompeNode::send_mempool_rejects(
+    const std::map<NodeId, std::vector<std::uint64_t>>& rejects) {
+  for (const auto& [client, ids] : rejects) {
+    if (client == kNoNode || client == id()) continue;
+    auto msg = sim::make_payload<core::MempoolRejectMsg>();
+    msg->tx_ids = ids;
+    send(client, std::move(msg));
+  }
+}
+
+void PompeNode::set_mempool_capacity(std::size_t capacity) {
+  if (mempool_ == nullptr) return;
+  std::map<NodeId, std::vector<std::uint64_t>> rejects;
+  for (const workload::WorkloadTx& evicted :
+       mempool_->set_capacity(capacity)) {
+    rejects[evicted.client].push_back(evicted.id);
+  }
+  send_mempool_rejects(rejects);
+}
+
+core::BatchAssembler::Carved PompeNode::carve_mempool(std::size_t max_txs) {
+  core::BatchAssembler::Carved carved;
+  const std::vector<workload::WorkloadTx> txs = mempool_->take(max_txs);
+  carved.payload = workload::encode_batch(txs);
+  carved.tx_count = static_cast<std::uint32_t>(txs.size());
+  carved.nominal_bytes = carved.payload.size();
+  for (const workload::WorkloadTx& tx : txs) {
+    if (carved.chunks.empty() || carved.chunks.back().client != tx.client) {
+      carved.chunks.push_back({tx.client, 0, tx.submitted_at, {}});
+    }
+    core::BatchAssembler::Chunk& chunk = carved.chunks.back();
+    ++chunk.count;
+    chunk.submitted_at = std::min(chunk.submitted_at, tx.submitted_at);
+    chunk.tx_ids.push_back(tx.id);
+  }
+  return carved;
 }
 
 void PompeNode::maybe_propose() {
   while (assembler_.has_full_batch()) propose_carved(assembler_.carve());
+  while (mempool_ != nullptr && mempool_->size() >= config_.batch_size) {
+    propose_carved(carve_mempool(config_.batch_size));
+  }
 }
 
 void PompeNode::flush_partial_batch() {
   if (!assembler_.empty()) propose_carved(assembler_.carve());
+  if (mempool_ != nullptr && !mempool_->empty()) {
+    propose_carved(carve_mempool(config_.batch_size));
+  }
 }
 
 void PompeNode::propose_carved(core::BatchAssembler::Carved carved) {
@@ -299,6 +370,7 @@ void PompeNode::on_block_commit(const hotstuff::Block& block) {
           msg->count = chunk.count;
           msg->submitted_at = chunk.submitted_at;
           msg->seq = e.assigned_ts;
+          msg->tx_ids = chunk.tx_ids;
           send(chunk.client, std::move(msg));
         }
         own_batches_.erase(it);

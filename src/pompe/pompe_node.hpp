@@ -1,6 +1,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "pompe/messages.hpp"
 #include "sim/process.hpp"
 #include "support/stats.hpp"
+#include "workload/mempool.hpp"
 
 namespace lyra::pompe {
 
@@ -37,6 +40,11 @@ struct PompeConfig {
   /// (same semantics as lyra::Config::memoize_verification: verdicts are
   /// unchanged, only cache-hit charges are skipped; off by default).
   bool memoize_verification = false;
+
+  /// Bounded fee-priority mempool in front of batch formation — same
+  /// semantics as lyra::Config::mempool_capacity, 0 = off (the default,
+  /// bit-identical legacy behaviour).
+  std::size_t mempool_capacity = 0;
 
   std::size_t quorum() const { return 2 * f + 1; }
 };
@@ -93,6 +101,13 @@ class PompeNode : public sim::Process {
     commit_hook_ = std::move(hook);
   }
 
+  /// Bounded fee-priority admission (nullptr unless mempool_capacity > 0).
+  workload::Mempool* mempool() { return mempool_.get(); }
+  const workload::Mempool* mempool() const { return mempool_.get(); }
+  /// Runtime capacity change (fuzz admission-flap fault); shrink-evicted
+  /// transactions earn their clients a MempoolReject.
+  void set_mempool_capacity(std::size_t capacity);
+
  protected:
   void on_message(const sim::Envelope& env) override;
 
@@ -107,6 +122,12 @@ class PompeNode : public sim::Process {
   void maybe_propose();
   void flush_partial_batch();
   void propose_carved(core::BatchAssembler::Carved carved);
+  void admit_workload(NodeId from,
+                      const std::vector<workload::WorkloadTx>& txs);
+  void send_mempool_rejects(
+      const std::map<NodeId, std::vector<std::uint64_t>>& rejects);
+  core::BatchAssembler::Carved carve_mempool(std::size_t max_txs);
+  void arm_batch_timer();
   void handle_ts_request(const sim::Envelope& env, const TsRequestMsg& m);
   void handle_ts_reply(const sim::Envelope& env, const TsReplyMsg& m);
   void handle_sequence(const sim::Envelope& env, const SequenceMsg& m);
@@ -143,6 +164,7 @@ class PompeNode : public sim::Process {
     bool sequenced = false;
   };
   core::BatchAssembler assembler_;
+  std::unique_ptr<workload::Mempool> mempool_;  // null = legacy direct path
   bool batch_timer_armed_ = false;
 
   std::unordered_map<crypto::Digest, OwnBatch, crypto::DigestHash>

@@ -28,6 +28,7 @@ enum class MsgKind : std::uint16_t {
   kResyncReply,
   kSubmit,
   kCommitNotify,
+  kMempoolReject,
   // hotstuff — 2xx
   kHsProposal = 200,
   kHsVote,

@@ -1,0 +1,68 @@
+#include "workload/economics.hpp"
+
+#include <map>
+
+namespace lyra::workload {
+
+EconomicsReport evaluate_economics(
+    const std::vector<BytesView>& ordered_payloads,
+    const EconomicsParams& params) {
+  EconomicsReport report;
+
+  // Flatten the ledger into one committed sequence with positions.
+  std::vector<WorkloadTx> sequence;
+  for (const BytesView& payload : ordered_payloads) {
+    decode_batch(payload, &sequence);
+  }
+
+  std::map<std::uint64_t, std::size_t> first_pos;
+  std::vector<const WorkloadTx*> attacks;
+  for (std::size_t pos = 0; pos < sequence.size(); ++pos) {
+    const WorkloadTx& tx = sequence[pos];
+    if (!first_pos.emplace(tx.id, pos).second) {
+      ++report.duplicate_txs;
+      continue;
+    }
+    if (tx.role == kRoleOrganic) {
+      ++report.organic_committed;
+    } else {
+      ++report.attack_committed;
+      report.adversary_fees += static_cast<double>(tx.fee);
+      attacks.push_back(&sequence[pos]);
+    }
+  }
+
+  // Group committed attack orders by victim; score by relative position.
+  struct Sandwich {
+    const WorkloadTx* front = nullptr;
+    const WorkloadTx* back = nullptr;
+  };
+  std::map<std::uint64_t, Sandwich> by_victim;
+  for (const WorkloadTx* tx : attacks) {
+    Sandwich& s = by_victim[tx->target_id];
+    if (tx->role == kRoleFront && s.front == nullptr) s.front = tx;
+    if (tx->role == kRoleBack && s.back == nullptr) s.back = tx;
+  }
+  report.victims_targeted = by_victim.size();
+
+  const double slip = static_cast<double>(params.slippage_bps) / 10000.0;
+  for (const auto& [victim_id, s] : by_victim) {
+    auto victim_it = first_pos.find(victim_id);
+    if (victim_it == first_pos.end()) continue;  // victim never committed
+    const std::size_t victim_pos = victim_it->second;
+    const WorkloadTx& victim = sequence[victim_pos];
+    if (s.front != nullptr && first_pos.at(s.front->id) < victim_pos) {
+      ++report.frontrun_successes;
+      report.extracted_value += slip * static_cast<double>(victim.value);
+      if (s.back != nullptr && first_pos.at(s.back->id) > victim_pos) {
+        ++report.sandwich_completes;
+      }
+    }
+  }
+
+  report.victim_slippage = report.extracted_value;
+  report.adversary_profit = report.extracted_value - report.adversary_fees;
+  return report;
+}
+
+}  // namespace lyra::workload

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "workload/types.hpp"
+
+namespace lyra::workload {
+
+struct EconomicsParams {
+  /// Extraction model: a successful front-run skims `slippage_bps` basis
+  /// points of the victim's value (price impact the victim pays because
+  /// the adversary's order executed first).
+  std::uint32_t slippage_bps = 50;
+};
+
+/// What the adversary earned, computed from the committed order alone —
+/// the metric is a pure function of the ledger, so Lyra and Pompē are
+/// compared on identical terms.
+struct EconomicsReport {
+  std::uint64_t organic_committed = 0;
+  std::uint64_t attack_committed = 0;   // committed front+back orders
+  std::uint64_t victims_targeted = 0;   // distinct victims with a committed
+                                        // attack order
+  std::uint64_t frontrun_successes = 0; // front order before its victim
+  std::uint64_t sandwich_completes = 0; // ... and back order after it
+  std::uint64_t duplicate_txs = 0;      // same tx id committed twice (must
+                                        // stay 0; fuzz invariant)
+  double extracted_value = 0;   // sum of slippage skimmed from victims
+  double adversary_fees = 0;    // fees paid by committed attack orders
+  double adversary_profit = 0;  // extracted_value - adversary_fees
+  double victim_slippage = 0;   // == extracted_value (victims' side)
+};
+
+/// Walks the committed batch payloads in ledger order, decodes workload
+/// batches (non-workload payloads are skipped), and scores every
+/// front/back order against the position of its victim.
+EconomicsReport evaluate_economics(
+    const std::vector<BytesView>& ordered_payloads,
+    const EconomicsParams& params);
+
+}  // namespace lyra::workload

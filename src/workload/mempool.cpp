@@ -1,0 +1,77 @@
+#include "workload/mempool.hpp"
+
+#include <algorithm>
+
+namespace lyra::workload {
+
+FeePriorityMempool::FeePriorityMempool(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+WorkloadTx FeePriorityMempool::evict_lowest() {
+  auto lowest = std::prev(order_.end());
+  auto it = by_id_.find(lowest->id);
+  WorkloadTx victim = it->second;
+  order_.erase(lowest);
+  by_id_.erase(it);
+  seen_.erase(victim.id);
+  ++stats_.evicted;
+  return victim;
+}
+
+Mempool::Admission FeePriorityMempool::admit(const WorkloadTx& tx) {
+  Admission result;
+  if (seen_.count(tx.id) != 0) {
+    ++stats_.duplicates;
+    result.outcome = Outcome::kDuplicate;
+    return result;
+  }
+  if (by_id_.size() >= capacity_) {
+    // Full: a newcomer displaces the cheapest resident only by outbidding
+    // it; ties keep the incumbent (first-come priority at equal fee).
+    const Key lowest = *std::prev(order_.end());
+    if (tx.fee <= lowest.fee) {
+      ++stats_.rejected_full;
+      result.outcome = Outcome::kRejected;
+      return result;
+    }
+    result.evicted.push_back(evict_lowest());
+  }
+  order_.insert(Key{tx.fee, tx.id});
+  by_id_.emplace(tx.id, tx);
+  seen_.insert(tx.id);
+  ++stats_.admitted;
+  result.outcome = Outcome::kAdmitted;
+  return result;
+}
+
+std::vector<WorkloadTx> FeePriorityMempool::take(std::size_t max_txs) {
+  std::vector<WorkloadTx> out;
+  out.reserve(std::min(max_txs, by_id_.size()));
+  while (out.size() < max_txs && !order_.empty()) {
+    auto top = order_.begin();
+    auto it = by_id_.find(top->id);
+    out.push_back(it->second);
+    order_.erase(top);
+    by_id_.erase(it);
+    // Deliberately NOT erased from seen_: the tx is in flight toward the
+    // ledger, so retries racing the commit notify must dedup here.
+  }
+  stats_.carved += out.size();
+  return out;
+}
+
+std::vector<WorkloadTx> FeePriorityMempool::set_capacity(
+    std::size_t capacity) {
+  capacity_ = std::max<std::size_t>(1, capacity);
+  std::vector<WorkloadTx> evicted;
+  while (by_id_.size() > capacity_) {
+    evicted.push_back(evict_lowest());
+  }
+  return evicted;
+}
+
+std::unique_ptr<Mempool> make_fee_priority_mempool(std::size_t capacity) {
+  return std::make_unique<FeePriorityMempool>(capacity);
+}
+
+}  // namespace lyra::workload

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "workload/types.hpp"
+
+namespace lyra::workload {
+
+struct MempoolStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_full = 0;  // newcomer refused (fee too low, pool full)
+  std::uint64_t evicted = 0;        // resident pushed out by a higher bid
+  std::uint64_t duplicates = 0;     // resubmission of a known tx, dropped
+  std::uint64_t carved = 0;         // handed to batch formation
+};
+
+/// Admission interface in front of batch formation. Both LyraNode and
+/// PompeNode own one (when `mempool_capacity > 0`) and speak the same
+/// backpressure protocol: a rejected or evicted transaction earns its
+/// client a MempoolReject, and the client retries with backoff.
+class Mempool {
+ public:
+  enum class Outcome : std::uint8_t {
+    kAdmitted = 0,
+    kRejected = 1,   // refused; the client should back off and retry
+    kDuplicate = 2,  // already pending or carved; dropped silently
+  };
+  struct Admission {
+    Outcome outcome = Outcome::kRejected;
+    /// Lower-fee residents displaced to make room (each owed a reject).
+    std::vector<WorkloadTx> evicted;
+  };
+
+  virtual ~Mempool() = default;
+
+  virtual Admission admit(const WorkloadTx& tx) = 0;
+
+  /// Removes and returns up to `max_txs` highest-priority transactions in
+  /// carve order. Carved ids stay known, so a straggling retry of an
+  /// in-flight transaction is dropped as a duplicate rather than
+  /// re-executed.
+  virtual std::vector<WorkloadTx> take(std::size_t max_txs) = 0;
+
+  /// Shrinks or grows the bound; shrinking evicts the lowest-priority
+  /// residents, which are returned (each owed a reject). Used by the fuzz
+  /// admission-flap fault.
+  virtual std::vector<WorkloadTx> set_capacity(std::size_t capacity) = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t capacity() const = 0;
+  virtual bool knows(std::uint64_t id) const = 0;
+  virtual const MempoolStats& stats() const = 0;
+};
+
+/// Bounded max-fee priority pool. Ties broken by tx id so admission,
+/// eviction, and carve order are fully deterministic.
+class FeePriorityMempool final : public Mempool {
+ public:
+  explicit FeePriorityMempool(std::size_t capacity);
+
+  Admission admit(const WorkloadTx& tx) override;
+  std::vector<WorkloadTx> take(std::size_t max_txs) override;
+  std::vector<WorkloadTx> set_capacity(std::size_t capacity) override;
+
+  std::size_t size() const override { return by_id_.size(); }
+  bool empty() const override { return by_id_.empty(); }
+  std::size_t capacity() const override { return capacity_; }
+  bool knows(std::uint64_t id) const override { return seen_.count(id) != 0; }
+  const MempoolStats& stats() const override { return stats_; }
+
+ private:
+  struct Key {
+    std::uint64_t fee;
+    std::uint64_t id;
+    bool operator<(const Key& o) const {
+      if (fee != o.fee) return fee > o.fee;  // highest fee first
+      return id < o.id;
+    }
+  };
+
+  WorkloadTx evict_lowest();
+
+  std::size_t capacity_;
+  std::set<Key> order_;
+  std::map<std::uint64_t, WorkloadTx> by_id_;
+  // Pending plus carved ids. Evicted/rejected ids are NOT kept here: their
+  // clients retry, and the retry must be admissible.
+  std::unordered_set<std::uint64_t> seen_;
+  MempoolStats stats_;
+};
+
+std::unique_ptr<Mempool> make_fee_priority_mempool(std::size_t capacity);
+
+}  // namespace lyra::workload

@@ -1,0 +1,153 @@
+#include "workload/samplers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lyra::workload {
+namespace {
+
+constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+
+TimeNs to_ns(double ns) {
+  if (!(ns > 0)) return 1;
+  if (ns >= 9e18) return kNever;
+  return static_cast<TimeNs>(ns);
+}
+
+}  // namespace
+
+PoissonArrivals::PoissonArrivals(const Options& options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  if (options_.burst_every_ms > 0) {
+    const double gap_ns =
+        rng_.next_exponential(options_.burst_every_ms * 1e6);
+    burst_start_ = to_ns(gap_ns);
+    burst_end_ = burst_start_ + to_ns(options_.burst_len_ms * 1e6);
+  } else {
+    burst_start_ = kNever;
+    burst_end_ = kNever;
+  }
+}
+
+void PoissonArrivals::advance_episodes(TimeNs t) {
+  while (burst_end_ != kNever && t >= burst_end_) {
+    const double gap_ns =
+        rng_.next_exponential(options_.burst_every_ms * 1e6);
+    burst_start_ = burst_end_ + to_ns(gap_ns);
+    burst_end_ = burst_start_ + to_ns(options_.burst_len_ms * 1e6);
+  }
+}
+
+double PoissonArrivals::rate_at(TimeNs t) const {
+  if (t >= burst_start_ && t < burst_end_) {
+    return options_.base_rate * options_.burst_mult;
+  }
+  return options_.base_rate;
+}
+
+TimeNs PoissonArrivals::current_boundary(TimeNs t) const {
+  if (t < burst_start_) return burst_start_;
+  if (t < burst_end_) return burst_end_;
+  return kNever;
+}
+
+bool PoissonArrivals::in_burst(TimeNs t) const {
+  return t >= burst_start_ && t < burst_end_;
+}
+
+TimeNs PoissonArrivals::next(TimeNs now) {
+  if (options_.base_rate <= 0) return kNever;
+  TimeNs t = now;
+  for (;;) {
+    advance_episodes(t);
+    // One exponential (= one uniform) per segment. If the draw crosses the
+    // next rate boundary we jump to the boundary and redraw — valid by
+    // memorylessness, and it keeps the consumed-uniform count a pure
+    // function of the arrival history.
+    const double dt_ns = rng_.next_exponential(1e9 / rate_at(t));
+    const TimeNs boundary = current_boundary(t);
+    if (boundary != kNever && dt_ns >= static_cast<double>(boundary - t)) {
+      t = boundary;
+      continue;
+    }
+    TimeNs arrival = t + to_ns(dt_ns);
+    if (arrival <= now) arrival = now + 1;
+    return arrival;
+  }
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t accounts, double s)
+    : accounts_(accounts == 0 ? 1 : accounts), s_(s < 0 ? 0.0 : s) {
+  const double n = static_cast<double>(accounts_) + 1.0;
+  if (std::abs(s_ - 1.0) < 1e-9) {
+    h_all_ = std::log(n);
+  } else {
+    h_all_ = (std::pow(n, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double target = rng.next_double() * h_all_;
+  double x;
+  if (std::abs(s_ - 1.0) < 1e-9) {
+    x = std::exp(target);
+  } else {
+    x = std::pow(target * (1.0 - s_) + 1.0, 1.0 / (1.0 - s_));
+  }
+  if (!(x >= 1.0)) x = 1.0;
+  const auto rank = static_cast<std::uint64_t>(x) - 1;
+  return std::min(rank, accounts_ - 1);
+}
+
+bool fee_model_from_string(std::string_view name, FeeModel* out) {
+  if (name == "constant") {
+    *out = FeeModel::kConstant;
+  } else if (name == "uniform") {
+    *out = FeeModel::kUniform;
+  } else if (name == "lognormal") {
+    *out = FeeModel::kLognormal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string fee_model_name(FeeModel model) {
+  switch (model) {
+    case FeeModel::kConstant:
+      return "constant";
+    case FeeModel::kUniform:
+      return "uniform";
+    case FeeModel::kLognormal:
+      return "lognormal";
+  }
+  return "?";
+}
+
+std::uint64_t sample_fee(FeeModel model, std::uint64_t base_fee, Rng& rng) {
+  const std::uint64_t base = std::max<std::uint64_t>(1, base_fee);
+  switch (model) {
+    case FeeModel::kConstant:
+      return base;
+    case FeeModel::kUniform:
+      return 1 + rng.next_below(2 * base);
+    case FeeModel::kLognormal: {
+      const double f = static_cast<double>(base) * rng.next_lognormal(0, 1.0);
+      if (!(f >= 1.0)) return 1;
+      if (f >= 1e18) return static_cast<std::uint64_t>(1e18);
+      return static_cast<std::uint64_t>(f);
+    }
+  }
+  return base;
+}
+
+std::uint64_t sample_value(std::uint64_t base_value, double sigma, Rng& rng) {
+  const double v =
+      static_cast<double>(base_value) * rng.next_lognormal(0, sigma);
+  if (!(v >= 1.0)) return 1;
+  if (v >= 1e18) return static_cast<std::uint64_t>(1e18);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace lyra::workload

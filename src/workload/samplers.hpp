@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace lyra::workload {
+
+/// Open-loop arrival process: a Poisson stream at `base_rate` tx/s,
+/// optionally interrupted by burst episodes during which the rate is
+/// multiplied by `burst_mult`. All sampling is explicit inverse-CDF on our
+/// own Rng — no <random> distributions — so arrival sequences are exact
+/// goldens independent of the standard library.
+///
+/// Burst schedule: quiet gaps between episodes are exponential with mean
+/// `burst_every_ms`; each episode lasts exactly `burst_len_ms`. Arrivals
+/// inside an episode are Poisson at base_rate * burst_mult. Crossing an
+/// episode boundary restarts the exponential draw (valid by memorylessness)
+/// and consumes exactly one uniform, keeping the stream deterministic.
+class PoissonArrivals {
+ public:
+  struct Options {
+    double base_rate = 100.0;    // tx/s
+    double burst_every_ms = 0;   // mean quiet gap; 0 disables bursts
+    double burst_len_ms = 250.0;
+    double burst_mult = 4.0;
+  };
+
+  PoissonArrivals(const Options& options, std::uint64_t seed);
+
+  /// Absolute time of the next arrival strictly after `now`. Must be called
+  /// with non-decreasing `now` values (it advances internal episode state).
+  TimeNs next(TimeNs now);
+
+  /// True if `t` falls inside a burst episode scheduled so far. Exposed for
+  /// boundary-case tests.
+  bool in_burst(TimeNs t) const;
+
+ private:
+  void advance_episodes(TimeNs t);
+  double rate_at(TimeNs t) const;
+  TimeNs current_boundary(TimeNs t) const;
+
+  Options options_;
+  Rng rng_;
+  // The burst schedule unfolds lazily: [burst_start_, burst_end_) is the
+  // next (or current) episode; everything before burst_start_ is quiet.
+  TimeNs burst_start_ = 0;
+  TimeNs burst_end_ = 0;
+};
+
+/// Zipf-skewed account popularity: rank r (0-based) has probability
+/// proportional to 1/(r+1)^s. Sampled via the continuous inverse-CDF
+/// approximation of the generalized harmonic number — O(1) per draw with no
+/// per-account table, which matters when 100 pools each model 10^5
+/// accounts. The skew is what creates hot-account contention; the exact
+/// tail shape is not load-bearing.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t accounts, double s);
+
+  /// 0-based account rank; rank 0 is the hottest account.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t accounts() const { return accounts_; }
+
+ private:
+  std::uint64_t accounts_;
+  double s_;
+  double h_all_ = 0;  // approximate generalized harmonic H(accounts)
+};
+
+/// Fee models for priority bidding. All explicit inverse-CDF / Box-Muller
+/// via Rng — no <random>.
+enum class FeeModel : std::uint8_t {
+  kConstant = 0,   // every tx bids base_fee
+  kUniform = 1,    // uniform in [1, 2*base_fee]
+  kLognormal = 2,  // base_fee * lognormal(0, 1), heavy right tail
+};
+
+/// Returns true and sets `out` on a recognized name (constant | uniform |
+/// lognormal).
+bool fee_model_from_string(std::string_view name, FeeModel* out);
+std::string fee_model_name(FeeModel model);
+
+/// Draws one fee bid (>= 1).
+std::uint64_t sample_fee(FeeModel model, std::uint64_t base_fee, Rng& rng);
+
+/// Draws one transaction value: base_value * lognormal(0, sigma), >= 1.
+/// The heavy tail is what gives the sandwich adversary worthwhile victims.
+std::uint64_t sample_value(std::uint64_t base_value, double sigma, Rng& rng);
+
+}  // namespace lyra::workload

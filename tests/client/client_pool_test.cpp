@@ -229,6 +229,72 @@ TEST(ClientPool, RetryOfLateWaveIsNotDelayedByEarlierTimerPhase) {
   EXPECT_GE(pool.latency_ms().max(), 50.0);
 }
 
+/// Acknowledges every submission; the ack for the 1-based arrival index
+/// `slow_index` is held back by `delay` instead of being dropped. With a
+/// resubmit timeout shorter than the delay, the pool retries the wave and
+/// BOTH the retry's ack and the late original ack arrive.
+class DelayedAckTarget final : public sim::Process {
+ public:
+  DelayedAckTarget(sim::Simulation* sim, sim::Transport* t, NodeId id,
+                   std::uint64_t slow_index, TimeNs delay)
+      : Process(sim, t, id), slow_index_(slow_index), delay_(delay) {}
+
+ protected:
+  void on_message(const sim::Envelope& env) override {
+    const auto* submit = sim::payload_as<core::SubmitMsg>(env);
+    if (submit == nullptr) return;
+    ++seen_;
+    const NodeId from = env.from;
+    const std::uint32_t count = submit->count;
+    const TimeNs submitted_at = submit->submitted_at;
+    const auto ack = [this, from, count, submitted_at] {
+      auto notify = sim::make_payload<core::CommitNotifyMsg>();
+      notify->count = count;
+      notify->submitted_at = submitted_at;
+      send(from, std::move(notify));
+    };
+    if (seen_ == slow_index_) set_timer(delay_, ack);
+    else ack();
+  }
+
+ private:
+  std::uint64_t slow_index_;
+  TimeNs delay_;
+  std::uint64_t seen_ = 0;
+};
+
+TEST(ClientPool, DuplicateNotifyOfResubmittedWaveIsDropped) {
+  // Regression: when a resubmitted wave's original submission was late
+  // rather than lost, both acks arrive. The second used to be counted as a
+  // fresh commit AND re-trigger the closed loop, permanently doubling the
+  // pool's in-flight width and double-counting throughput from then on.
+  sim::Simulation sim(1);
+  FixedDelayTransport transport(&sim, ms(1), 2);
+  // First wave's ack is delayed past the resubmit timeout.
+  DelayedAckTarget target(&sim, &transport, 0, /*slow_index=*/1, ms(100));
+  client::ClientPool pool(&sim, &transport, 1, 0, 20, ms(10), 0, ms(1000));
+  pool.set_resubmit_timeout(ms(50));
+  transport.attach(&target);
+  transport.attach(&pool);
+  target.on_start();
+  pool.on_start();
+  sim.run_until(ms(1000));
+
+  EXPECT_GE(pool.resubmissions(), 1u);
+  EXPECT_EQ(pool.duplicate_notifies(), 1u);
+  EXPECT_EQ(pool.committed_total() % 20, 0u);
+  // One wave of 20 in flight at a time: a 2ms round trip bounds the run at
+  // fewer than 500 waves. The pre-fix behaviour circulated two waves after
+  // the duplicate and roughly doubled this.
+  EXPECT_LE(pool.committed_total(), 20u * 500u);
+  // submitted_total counts both attempts of the retried wave; at most one
+  // wave can still be unacknowledged when the run stops.
+  EXPECT_GE(pool.submitted_total(),
+            pool.committed_total() + 20 * pool.resubmissions());
+  EXPECT_LE(pool.submitted_total(),
+            pool.committed_total() + 20 * pool.resubmissions() + 20);
+}
+
 TEST(ClientPool, EarlierDeadlineRearmsThePendingTimer) {
   // Mirror case: the armed timer targets a LATE deadline (the only
   // outstanding wave was just retried) and a brand-new wave appears with

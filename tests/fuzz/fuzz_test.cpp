@@ -88,7 +88,49 @@ TEST(FaultProgram, GeneratedPlansHonorBudgetAndTail) {
     for (const DelayFault& d : plan.delays) {
       EXPECT_LE(d.to, fault_deadline) << "seed " << seed;
     }
+    for (const FeeSpikeFault& s : plan.fee_spikes) {
+      EXPECT_LE(s.to, fault_deadline) << "seed " << seed;
+    }
+    for (const OverflowFault& o : plan.overflows) {
+      EXPECT_LE(o.at, fault_deadline) << "seed " << seed;
+    }
+    for (const FlapFault& fl : plan.flaps) {
+      EXPECT_LE(fl.to, fault_deadline) << "seed " << seed;
+      EXPECT_LE(fl.capacity, plan.mempool_capacity) << "seed " << seed;
+    }
+    if (plan.open_loop()) {
+      // Open-loop plans give up crashes and closed-loop resubmission and
+      // buy the extra drain tail instead.
+      EXPECT_TRUE(plan.crashes.empty()) << "seed " << seed;
+      EXPECT_EQ(plan.resubmit_timeout, 0) << "seed " << seed;
+      EXPECT_GE(plan.required_tail(), kFaultTail + kOpenLoopDrain)
+          << "seed " << seed;
+    } else {
+      EXPECT_TRUE(plan.fee_spikes.empty() && plan.overflows.empty() &&
+                  plan.flaps.empty())
+          << "seed " << seed;
+    }
   }
+}
+
+TEST(FaultProgram, GeneratorEmitsOpenLoopPlans) {
+  // The open-loop draw is probabilistic (p = 0.35); over 128 seeds both
+  // modes must appear or the workload grammar is dead weight.
+  std::size_t open = 0, with_workload_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 128; ++seed) {
+    const ScenarioPlan plan = generate_plan(seed);
+    if (!plan.open_loop()) continue;
+    ++open;
+    EXPECT_GE(plan.arrival_rate, 1u);
+    EXPECT_LE(plan.arrival_rate, 2000u);
+    if (plan.fault_count() >
+        plan.partitions.size() + plan.delays.size() + plan.byz.size()) {
+      ++with_workload_faults;
+    }
+  }
+  EXPECT_GT(open, 16u);
+  EXPECT_LT(open, 112u);
+  EXPECT_GT(with_workload_faults, 0u);
 }
 
 TEST(FaultProgram, ParseRejectsMalformedInput) {
@@ -100,6 +142,19 @@ TEST(FaultProgram, ParseRejectsMalformedInput) {
   EXPECT_FALSE(parse_plan(base + "frobnicate 3\n", plan, error));
   EXPECT_FALSE(parse_plan(base + "crash node\n", plan, error));
   EXPECT_FALSE(parse_plan(base + "byz node=1 kind=confused\n", plan, error));
+  EXPECT_FALSE(parse_plan(base + "mempool lots\n", plan, error));
+  EXPECT_FALSE(parse_plan(base + "fee_spike from_ms=1000\n", plan, error));
+  EXPECT_FALSE(
+      parse_plan(base + "overflow at_ms=1000 txs=-3\n", plan, error));
+  EXPECT_FALSE(parse_plan(base + "flap from_ms=1000 to_ms=1200 size=4\n",
+                          plan, error));
+  // Workload faults without an open-loop mempool fail validation.
+  EXPECT_FALSE(parse_plan(
+      base + "overflow at_ms=1000 txs=64\n", plan, error));
+  EXPECT_TRUE(parse_plan(base + "mempool 64\narrival_rate 200\n" +
+                             "overflow at_ms=1000 txs=64\n",
+                         plan, error))
+      << error;
   // Comments before the header are fine (annotated corpus files).
   EXPECT_TRUE(parse_plan("# hello\n\n" + base, plan, error)) << error;
 }
@@ -144,6 +199,45 @@ TEST(FaultProgram, ValidateRejectsStructurallyBrokenPlans) {
   p = base();
   p.partitions.push_back({ms(1000), ms(1500), 1u << 5});
   EXPECT_FALSE(validate_plan(p, error)) << "mask names nodes >= n";
+
+  p = base();
+  p.arrival_rate = 200;
+  EXPECT_FALSE(validate_plan(p, error)) << "arrival_rate without mempool";
+
+  p = base();
+  p.mempool_capacity = 64;
+  EXPECT_FALSE(validate_plan(p, error)) << "open loop without arrival_rate";
+
+  p = base();
+  p.mempool_capacity = 64;
+  p.arrival_rate = 200;
+  p.crashes.push_back({0, ms(1000), ms(1200), false, false});
+  EXPECT_FALSE(validate_plan(p, error)) << "open loop with a crash";
+
+  p = base();
+  p.mempool_capacity = 64;
+  p.arrival_rate = 200;
+  p.resubmit_timeout = ms(800);
+  EXPECT_FALSE(validate_plan(p, error)) << "open loop with resubmission";
+
+  p = base();
+  p.mempool_capacity = 64;
+  p.arrival_rate = 200;
+  p.flaps.push_back({ms(1000), ms(1200), 128});
+  EXPECT_FALSE(validate_plan(p, error)) << "flap above the plan capacity";
+
+  p = base();
+  p.fee_spikes.push_back({ms(1000), ms(1200), 4});
+  EXPECT_FALSE(validate_plan(p, error)) << "workload fault on a closed plan";
+
+  p = base();
+  p.duration = ms(8000);
+  p.mempool_capacity = 64;
+  p.arrival_rate = 200;
+  p.overflows.push_back({ms(1000), 128});
+  p.fee_spikes.push_back({ms(1000), ms(1400), 4});
+  p.flaps.push_back({ms(1200), ms(1600), 16});
+  EXPECT_TRUE(validate_plan(p, error)) << error;
 }
 
 TEST(Invariants, StandardRegistryNamesTheDocumentedChecks) {
@@ -153,7 +247,8 @@ TEST(Invariants, StandardRegistryNamesTheDocumentedChecks) {
   for (const char* expected :
        {"prefix-agreement", "ledger-order", "no-dup-commit",
         "per-sender-order", "lambda-fairness", "resync-gate-quorum",
-        "recovery-convergence", "post-fault-progress",
+        "mempool-no-double-commit", "recovery-convergence",
+        "post-fault-progress", "open-loop-resolution",
         "client-resubmit-lag"}) {
     EXPECT_TRUE(names.count(expected)) << expected;
   }
@@ -225,6 +320,59 @@ TEST(ParallelDispatch, CancelRacesBatchedDispatchAtEightThreads) {
   EXPECT_GT(report.committed_txs, 0u);
 }
 
+TEST(OpenLoopPlans, WorkloadFaultsRunCleanAndResolve) {
+  // Full-stack open-loop plan with all three workload faults under the
+  // parallel executor. run_plan's serial replay checks the digest (which
+  // includes per-pool offered/terminal/unresolved counts), and the
+  // end-of-run sweep checks open-loop-resolution and the double-commit
+  // invariant against the decoded ledgers.
+  ScenarioPlan plan;
+  plan.seed = 11;
+  plan.n = 4;
+  plan.batch_size = 16;
+  plan.threads = 4;
+  plan.mempool_capacity = 32;
+  plan.arrival_rate = 300;
+  plan.duration = ms(2500) + plan.required_tail();
+  plan.fee_spikes.push_back({ms(1200), ms(1600), 8});
+  plan.overflows.push_back({ms(1400), 96});
+  plan.flaps.push_back({ms(1800), ms(2200), 4});
+  std::string error;
+  ASSERT_TRUE(validate_plan(plan, error)) << error;
+  const RunReport report = run_plan(plan);
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty()
+              ? report.error
+              : report.violations[0].invariant + ": " +
+                    report.violations[0].detail);
+  EXPECT_GT(report.committed_txs, 0u);
+  EXPECT_GT(report.offered_txs, report.committed_txs);
+  // A 96-tx burst into a 32-slot mempool must produce backpressure.
+  EXPECT_GT(report.backpressure_rejects, 0u);
+}
+
+TEST(OpenLoopPlans, PompeOpenLoopResolves) {
+  ScenarioPlan plan;
+  plan.seed = 3;
+  plan.protocol = Protocol::kPompe;
+  plan.n = 4;
+  plan.batch_size = 16;
+  plan.threads = 2;
+  plan.mempool_capacity = 64;
+  plan.arrival_rate = 200;
+  plan.duration = ms(2000) + plan.required_tail();
+  plan.overflows.push_back({ms(1300), 128});
+  std::string error;
+  ASSERT_TRUE(validate_plan(plan, error)) << error;
+  const RunReport report = run_plan(plan);
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty()
+              ? report.error
+              : report.violations[0].invariant + ": " +
+                    report.violations[0].detail);
+  EXPECT_GT(report.committed_txs, 0u);
+}
+
 // The self-check behind the fuzzer's reason to exist: re-introduce a fixed
 // bug through its hidden mutation hook and prove an invariant catches it,
 // the minimizer keeps the witness small, and the clean build replays the
@@ -266,10 +414,21 @@ TEST(MutationCatch, ClientResubmitFixedPeriod) {
   plan.n = 4;
   plan.clients_per_node = 48;
   plan.batch_size = 16;
-  plan.duration = ms(7700);
+  plan.duration = ms(9200);
   plan.threads = 1;
   plan.resubmit_timeout = ms(1600);
-  plan.delays.push_back({ms(885), ms(985), ms(300), 1});
+  // The fixed-period mutation only shows up as lag when an overdue wave's
+  // phase differs from the timer's: the very first wave (t=900ms) arms the
+  // timer, so its deadlines coincide with the fixed firings forever and its
+  // lag is exactly zero no matter how long its acks are delayed. The window
+  // therefore starts *after* the first waves ack, so the closed loop has
+  // already staggered later submissions off the 1600ms cadence before the
+  // delay (longer than the timeout) makes them overdue. The re-aiming timer
+  // retries each wave at its exact deadline; the mutated one services them
+  // up to a full period late. (An earlier version relied on sub-timeout
+  // delays compounding through the duplicate-notify width-doubling bug;
+  // with that fixed, the run was too healthy to make any wave overdue.)
+  plan.delays.push_back({ms(1600), ms(2900), ms(4000), 1});
   {
     MutationGuard guard("client-resubmit-fixed-period");
     const RunReport report = run_plan(plan);

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/lyra_cluster.hpp"
@@ -204,6 +206,77 @@ TEST(ParallelEquivalence, CrashRestartAndStateSyncMatchSerial) {
   EXPECT_EQ(run(2), serial);
   EXPECT_EQ(run(4), serial);
   EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelEquivalence, OpenLoopMempoolMatchesSerial) {
+  ScopedExecutorMode threads_mode(/*inline_mode=*/false);
+  // Open-loop traffic through the bounded mempool: Poisson arrivals with
+  // burst episodes, fee-priority eviction, backpressure rejects, and the
+  // exponential retry ladder all ride on their own RNG streams and timers.
+  // None of it may depend on worker interleavings.
+  auto run = [](unsigned threads) {
+    auto opts = lyra_options(51, threads);
+    opts.config.mempool_capacity = 16;
+    opts.config.retain_payloads = true;
+    opts.topology = net::single_region(8);  // 4 nodes + 4 open-loop pools
+    opts.threads = threads;
+    harness::LyraCluster cluster(opts);
+    cluster.simulation().trace().enable(true);
+    workload::OpenLoopOptions ol;
+    ol.arrival_rate = 400.0;
+    ol.burst_every_ms = 80.0;
+    ol.burst_len_ms = 30.0;
+    ol.burst_mult = 6.0;
+    ol.accounts = 200;
+    ol.max_retries = 3;
+    ol.retry_backoff = ms(20);
+    ol.retry_backoff_cap = ms(80);
+    ol.start_at = ms(40);
+    ol.stop_at = ms(500);
+    ol.measure_from = ms(40);
+    ol.measure_to = ms(800);
+    for (NodeId i = 0; i < 4; ++i) {
+      cluster.add_open_loop_pool(i, ol, /*run_seed=*/51);
+    }
+    cluster.start();
+    const std::uint64_t events = cluster.run_for(ms(800));
+
+    crypto::Hasher h;
+    for (const sim::TraceEvent& ev : cluster.simulation().trace().events()) {
+      h.add_str("ev").add_i64(ev.at).add_u32(ev.node).add_str(ev.category)
+          .add_str(ev.text);
+    }
+    for (NodeId i = 0; i < 4; ++i) {
+      h.add_str("ledger").add_u32(i);
+      for (const core::CommittedBatch& cb : cluster.node(i).ledger()) {
+        h.add_i64(cb.seq).add(cb.cipher_id).add_u32(cb.tx_count)
+            .add_i64(cb.committed_at).add_i64(cb.revealed_at);
+        h.add(cb.payload);  // the carved tx sequence itself
+      }
+      const workload::MempoolStats& mp = cluster.node(i).mempool()->stats();
+      h.add_str("mempool").add_u64(mp.admitted).add_u64(mp.rejected_full)
+          .add_u64(mp.evicted).add_u64(mp.duplicates).add_u64(mp.carved);
+    }
+    std::uint64_t committed = 0;
+    for (const auto& pool : cluster.open_pools()) {
+      const workload::OpenLoopStats& s = pool->stats();
+      h.add_str("pool").add_u64(s.offered).add_u64(s.submitted)
+          .add_u64(s.committed_total).add_u64(s.rejected_events)
+          .add_u64(s.terminal_rejects).add_u64(pool->unresolved());
+      for (double v : pool->latency_ms().values()) {
+        h.add_u64(std::bit_cast<std::uint64_t>(v));
+      }
+      committed += s.committed_total;
+    }
+    h.add_u64(events);
+    return std::pair<std::string, std::uint64_t>(to_hex(h.digest()),
+                                                 committed);
+  };
+
+  const auto serial = run(1);
+  ASSERT_GT(serial.second, 0u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
 }
 
 TEST(ParallelEquivalence, PompeMatchesSerial) {

@@ -18,6 +18,14 @@ Modes:
       "threads" field (execution threads; absent = 1, the serial engine);
       --threads N restricts the comparison to entries at that thread count.
 
+      --metric accepts any numeric entry field, including the
+      benchmark-specific extras benches append (the load sweep's
+      offered_tps, goodput_tps, p50_ms, p99_ms, rejected, evicted,
+      extracted_value). For lower-is-better metrics (latency tails,
+      rejects) pass --max-ratio instead of --min-ratio: the comparison
+      then fails when candidate/baseline *exceeds* the bound, and the
+      min-ratio gate defaults off.
+
   merge
       bench_compare.py --merge OUT.json IN1.json [IN2.json ...]
       Concatenates the runs of the inputs (in order) into OUT.json — used to
@@ -95,7 +103,13 @@ def compare(args):
           f"{'ratio':>8} {'scal-eff':>9}")
 
     cand_eff = scaling_efficiencies(cand)
+    # With an explicit upper bound the metric is lower-is-better; the
+    # min-ratio gate then defaults off (an improvement must not fail).
+    min_ratio = args.min_ratio
+    if min_ratio is None:
+        min_ratio = 0.0 if args.max_ratio is not None else 0.9
     worst = None
+    worst_high = None
     compared = 0
     for entry in cand["entries"]:
         name = entry["name"]
@@ -116,25 +130,41 @@ def compare(args):
             continue
         b = float(ref.get(args.metric, 0.0))
         c = float(entry.get(args.metric, 0.0))
-        ratio = c / b if b > 0 else float("inf")
-        flag = "" if ratio >= args.min_ratio else "  << below min-ratio"
+        # A zero baseline with a zero candidate is a clean match (common
+        # for backpressure counters below the saturation knee).
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
+        flag = ""
+        if ratio < min_ratio:
+            flag = "  << below min-ratio"
+        elif args.max_ratio is not None and ratio > args.max_ratio:
+            flag = "  << above max-ratio"
         print(f"{name:<20} {threads:>4} {b:>14.0f} {c:>14.0f} "
               f"{ratio:>7.2f}x {eff_col}{flag}")
         compared += 1
         if worst is None or ratio < worst:
             worst = ratio
+        if worst_high is None or ratio > worst_high:
+            worst_high = ratio
 
     if compared == 0:
         sys.exit("no common entries to compare")
-    if worst < args.min_ratio:
+    msg = None
+    if worst < min_ratio:
         msg = (f"worst ratio {worst:.2f}x is below the threshold "
-               f"{args.min_ratio:.2f}x")
+               f"{min_ratio:.2f}x")
+    elif args.max_ratio is not None and worst_high > args.max_ratio:
+        msg = (f"worst ratio {worst_high:.2f}x is above the threshold "
+               f"{args.max_ratio:.2f}x")
+    if msg is not None:
         if args.advisory:
             print(f"WARNING (advisory): {msg}")
             return 0
         print(f"FAIL: {msg}")
         return 1
-    print(f"OK: worst ratio {worst:.2f}x >= {args.min_ratio:.2f}x")
+    bounds = f"{worst:.2f}x >= {min_ratio:.2f}x"
+    if args.max_ratio is not None:
+        bounds += f", {worst_high:.2f}x <= {args.max_ratio:.2f}x"
+    print(f"OK: worst ratio {bounds}")
     return 0
 
 
@@ -163,9 +193,12 @@ def main():
     p.add_argument("files", nargs="+",
                    help="compare: BASELINE CANDIDATE; merge: inputs")
     p.add_argument("--metric", default="events_per_sec")
-    p.add_argument("--min-ratio", type=float, default=0.9,
+    p.add_argument("--min-ratio", type=float, default=None,
                    help="fail when candidate/baseline drops below this "
-                        "(default 0.9)")
+                        "(default 0.9; 0 when --max-ratio is given)")
+    p.add_argument("--max-ratio", type=float, default=None,
+                   help="also fail when candidate/baseline exceeds this "
+                        "(lower-is-better metrics: p99_ms, rejected, ...)")
     p.add_argument("--advisory", action="store_true",
                    help="report regressions but always exit 0")
     p.add_argument("--threads", type=int, default=None,

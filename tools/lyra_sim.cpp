@@ -60,6 +60,27 @@ void usage() {
       "  --memoize-verify          cache signature/proof verification by\n"
       "                            message identity (re-presented Byzantine\n"
       "                            traffic verifies once)\n"
+      "open-loop workload engine (docs/WORKLOAD.md):\n"
+      "  --open-loop               replace closed-loop clients with Poisson\n"
+      "                            traffic sources and give every node a\n"
+      "                            bounded fee-priority mempool\n"
+      "  --arrival-rate=R          offered load per node, tx/s (default 200)\n"
+      "  --accounts=A              Zipf account universe (default 100000)\n"
+      "  --zipf-s=S                Zipf skew exponent (default 1.0)\n"
+      "  --burst-every=T           mean gap between burst episodes (0 = off)\n"
+      "  --burst-len=T             burst episode length (default 250ms)\n"
+      "  --burst-mult=M            rate multiplier inside bursts (default 4)\n"
+      "  --mempool-cap=C           per-node mempool bound (default 4096)\n"
+      "  --fee-model=M             constant|uniform|lognormal (default\n"
+      "                            uniform)\n"
+      "  --max-retries=K           backpressure retries before a terminal\n"
+      "                            reject (default 6)\n"
+      "  --retry-backoff=T         initial retry backoff, doubles per reject\n"
+      "                            (default 40ms)\n"
+      "  --sandwich-attackers=A    nodes (highest ids) running the economic\n"
+      "                            sandwich adversary (default 0)\n"
+      "  --victim-threshold=V      min victim value worth attacking\n"
+      "                            (default 5000)\n"
       "  --help                    this text\n"
       "durations (T) accept '3s', '250ms', or plain milliseconds\n");
 }
@@ -192,6 +213,53 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.crash_restarts.back().corrupt_wal = true;
+    } else if (parse_value(argc, argv, i, "--arrival-rate", value)) {
+      config.workload.arrival_rate = std::strtod(value.c_str(), nullptr);
+    } else if (parse_value(argc, argv, i, "--accounts", value)) {
+      config.workload.accounts = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--zipf-s", value)) {
+      config.workload.zipf_s = std::strtod(value.c_str(), nullptr);
+    } else if (parse_value(argc, argv, i, "--burst-every", value)) {
+      TimeNs t = 0;
+      if (!parse_duration(value, t)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+      config.workload.burst_every_ms = to_ms(t);
+    } else if (parse_value(argc, argv, i, "--burst-len", value)) {
+      TimeNs t = 0;
+      if (!parse_duration(value, t)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+      config.workload.burst_len_ms = to_ms(t);
+    } else if (parse_value(argc, argv, i, "--burst-mult", value)) {
+      config.workload.burst_mult = std::strtod(value.c_str(), nullptr);
+    } else if (parse_value(argc, argv, i, "--mempool-cap", value)) {
+      config.workload.mempool_capacity =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--fee-model", value)) {
+      if (!workload::fee_model_from_string(value,
+                                           &config.workload.fee_model)) {
+        std::fprintf(stderr, "unknown fee model '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_value(argc, argv, i, "--max-retries", value)) {
+      config.workload.max_retries =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_value(argc, argv, i, "--retry-backoff", value)) {
+      if (!parse_duration(value, config.workload.retry_backoff)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_value(argc, argv, i, "--sandwich-attackers", value)) {
+      config.workload.sandwich_attackers =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--victim-threshold", value)) {
+      config.workload.victim_value_threshold =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--open-loop") == 0) {
+      config.workload.open_loop = true;
     } else if (std::strcmp(argv[i], "--state-sync") == 0) {
       config.state_sync = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -225,6 +293,20 @@ int main(int argc, char** argv) {
   }
   if (config.byzantine_silent + config.replay_attackers > config.f()) {
     std::fprintf(stderr, "silent + replay attackers must stay <= f\n");
+    return 2;
+  }
+  if (config.workload.sandwich_attackers > 0 && !config.workload.open_loop) {
+    std::fprintf(stderr, "--sandwich-attackers needs --open-loop\n");
+    return 2;
+  }
+  if (config.workload.sandwich_attackers >= config.n) {
+    std::fprintf(stderr, "--sandwich-attackers must stay below n\n");
+    return 2;
+  }
+  if (config.workload.open_loop && !config.crash_restarts.empty()) {
+    // docs/WORKLOAD.md: mempool contents are not journaled, so carved
+    // batches lose their per-tx ids across a restart.
+    std::fprintf(stderr, "--open-loop does not combine with --crash-node\n");
     return 2;
   }
   for (const auto& cr : config.crash_restarts) {
@@ -309,6 +391,34 @@ int main(int argc, char** argv) {
   } else {
     std::printf("ts verifications  %10llu\n",
                 static_cast<unsigned long long>(result.proof_verifications));
+  }
+  if (config.workload.open_loop) {
+    std::printf("\n--- open-loop workload ---\n");
+    std::printf("offered load      %10.0f tx/s (%llu arrivals)\n",
+                result.offered_tps,
+                static_cast<unsigned long long>(result.offered_txs));
+    std::printf("goodput           %10.0f tx/s\n", result.goodput_tps);
+    std::printf("backpressure      %10llu rejects to clients\n",
+                static_cast<unsigned long long>(result.rejected_submits));
+    std::printf("resubmissions     %10llu\n",
+                static_cast<unsigned long long>(result.resubmissions));
+    std::printf("terminal rejects  %10llu\n",
+                static_cast<unsigned long long>(result.terminal_rejects));
+    std::printf("mempool           %10llu refused / %llu evicted\n",
+                static_cast<unsigned long long>(result.mempool_rejects),
+                static_cast<unsigned long long>(result.mempool_evictions));
+    if (config.workload.sandwich_attackers > 0) {
+      std::printf("victims targeted  %10llu\n",
+                  static_cast<unsigned long long>(result.victims_targeted));
+      std::printf("front-runs won    %10llu\n",
+                  static_cast<unsigned long long>(result.frontrun_successes));
+      std::printf("sandwiches closed %10llu\n",
+                  static_cast<unsigned long long>(result.sandwich_completes));
+      std::printf("attack txs landed %10llu\n",
+                  static_cast<unsigned long long>(result.attacks_committed));
+      std::printf("extracted value   %10.1f\n", result.extracted_value);
+      std::printf("adversary profit  %10.1f\n", result.adversary_profit);
+    }
   }
   if (config.memoize_verify || config.replay_attackers > 0) {
     std::printf("verify cache      %10llu hits / %llu misses\n",
