@@ -39,12 +39,49 @@ inline unsigned host_nproc() {
 
 /// Node counts of the paper's evaluation (§VI-C).
 inline std::vector<std::size_t> node_counts() {
-  // LYRA_BENCH_QUICK=1 caps the sweep at 31 nodes (CI-friendly); the full
-  // sweep reproduces the figures up to n = 100.
+  // LYRA_BENCH_QUICK=1 caps the sweep at 31 nodes (CI-friendly). These are
+  // the per-figure counts; the scaling sweep itself goes further —
+  // bench_fig5_scaling drives n = 100..1000 with aggregated client pools.
   if (quick_mode()) {
     return {5, 10, 16, 31};
   }
   return {5, 10, 16, 31, 61, 100};
+}
+
+// ---------------------------------------------------------------------------
+// Peak-RSS measurement (memory-flatness benches)
+// ---------------------------------------------------------------------------
+
+/// Process peak resident set (VmHWM) in bytes; 0 where /proc is absent.
+inline std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %llu kB",
+                      reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+        break;
+      }
+    }
+    std::fclose(f);
+    return kb * 1024;
+  }
+#endif
+  return 0;
+}
+
+/// Resets the VmHWM high-water mark so successive runs in one process each
+/// measure their own peak (writing "5" to clear_refs; needs a writable
+/// /proc, silently a no-op elsewhere — peaks then only ratchet upward,
+/// which still upper-bounds every run).
+inline void reset_peak_rss() {
+#ifdef __linux__
+  if (FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+#endif
 }
 
 inline void print_header(const char* title, const char* columns) {

@@ -14,30 +14,39 @@ ClientPool::ClientPool(sim::Simulation* sim, sim::Transport* transport,
                        NodeId id, NodeId target_node, std::uint32_t width,
                        TimeNs start_at, TimeNs measure_from,
                        TimeNs measure_to)
+    : ClientPool(sim, transport, id, std::vector<NodeId>{target_node}, width,
+                 start_at, measure_from, measure_to) {}
+
+ClientPool::ClientPool(sim::Simulation* sim, sim::Transport* transport,
+                       NodeId id, std::vector<NodeId> targets,
+                       std::uint32_t width, TimeNs start_at,
+                       TimeNs measure_from, TimeNs measure_to)
     : Process(sim, transport, id),
-      target_(target_node),
+      targets_(std::move(targets)),
       width_(width),
       start_at_(start_at),
       measure_from_(measure_from),
       measure_to_(measure_to) {}
 
 void ClientPool::on_start() {
-  set_timer(start_at_, [this] { submit(width_); });
+  set_timer(start_at_, [this] {
+    for (NodeId target : targets_) submit(width_, target);
+  });
 }
 
-void ClientPool::submit(std::uint32_t count) {
+void ClientPool::submit(std::uint32_t count, NodeId target) {
   if (count == 0) return;
   submitted_total_ += count;
   auto msg = sim::make_payload<SubmitMsg>();
   msg->count = count;
   msg->submitted_at = now();
   if (resubmit_timeout_ > 0) {
-    auto& wave = outstanding_[now()];
+    auto& wave = outstanding_[{now(), target}];
     wave.count += count;
     wave.last_attempt = now();
     arm_resubmit_timer();
   }
-  send(target_, std::move(msg));
+  send(target, std::move(msg));
 }
 
 void ClientPool::arm_resubmit_timer() {
@@ -57,7 +66,7 @@ void ClientPool::arm_resubmit_timer() {
   }
   TimeNs earliest = 0;
   bool first = true;
-  for (const auto& [submitted_at, wave] : outstanding_) {
+  for (const auto& [key, wave] : outstanding_) {
     const TimeNs deadline = wave.last_attempt + resubmit_timeout_;
     if (first || deadline < earliest) {
       earliest = deadline;
@@ -77,7 +86,7 @@ void ClientPool::arm_resubmit_timer() {
 void ClientPool::check_resubmit() {
   resubmit_timer_armed_ = false;
   if (outstanding_.empty()) return;
-  for (auto& [submitted_at, wave] : outstanding_) {
+  for (auto& [key, wave] : outstanding_) {
     if (now() - wave.last_attempt < resubmit_timeout_) continue;
     max_resubmit_lag_ = std::max(
         max_resubmit_lag_, now() - (wave.last_attempt + resubmit_timeout_));
@@ -85,8 +94,8 @@ void ClientPool::check_resubmit() {
     msg->count = wave.count;
     // Latency stays measured from the first attempt: the retry carries the
     // original submission time.
-    msg->submitted_at = submitted_at;
-    send(target_, std::move(msg));
+    msg->submitted_at = key.first;
+    send(key.second, std::move(msg));
     wave.last_attempt = now();
     ++resubmissions_;
     submitted_total_ += wave.count;
@@ -99,7 +108,7 @@ void ClientPool::on_message(const sim::Envelope& env) {
   if (notify == nullptr) return;
 
   if (resubmit_timeout_ > 0) {
-    auto it = outstanding_.find(notify->submitted_at);
+    auto it = outstanding_.find({notify->submitted_at, env.from});
     if (it == outstanding_.end()) {
       // Both the original and the retry of a resubmitted wave committed
       // (the original's notify was late, not lost). The first notify
@@ -125,8 +134,9 @@ void ClientPool::on_message(const sim::Envelope& env) {
     weighted_count_ += notify->count;
   }
   // Closed loop: every committed transaction triggers its client's next
-  // submission.
-  submit(notify->count);
+  // submission, back at the node that just served it (the notify sender is
+  // the wave's target, which keeps per-target loops independent).
+  submit(notify->count, env.from);
 }
 
 double ClientPool::weighted_mean_latency_ms() const {

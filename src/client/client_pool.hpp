@@ -1,6 +1,8 @@
 #pragma once
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "lyra/messages.hpp"
 #include "sim/process.hpp"
@@ -25,6 +27,16 @@ class ClientPool final : public sim::Process {
   /// Latency samples are only recorded inside [measure_from, measure_to].
   ClientPool(sim::Simulation* sim, sim::Transport* transport, NodeId id,
              NodeId target_node, std::uint32_t width, TimeNs start_at,
+             TimeNs measure_from, TimeNs measure_to);
+
+  /// Aggregated form: one process drives `width` logical clients at *each*
+  /// node in `targets` (so width * targets.size() clients total) through
+  /// shared timers and per-target closed loops. Commit notifications route
+  /// back to the wave's target via the notify's sender, so the loops stay
+  /// independent. With a single target this is bit-identical to the
+  /// per-node constructor.
+  ClientPool(sim::Simulation* sim, sim::Transport* transport, NodeId id,
+             std::vector<NodeId> targets, std::uint32_t width, TimeNs start_at,
              TimeNs measure_from, TimeNs measure_to);
 
   void on_start() override;
@@ -74,23 +86,25 @@ class ClientPool final : public sim::Process {
   void on_message(const sim::Envelope& env) override;
 
  private:
-  void submit(std::uint32_t count);
+  void submit(std::uint32_t count, NodeId target);
   void arm_resubmit_timer();
   void check_resubmit();
 
-  NodeId target_;
+  std::vector<NodeId> targets_;
   std::uint32_t width_;
   TimeNs start_at_;
   TimeNs measure_from_;
   TimeNs measure_to_;
 
-  // Unacknowledged submission waves, keyed by original submission time
-  // (ordered so resubmission scans oldest-first, deterministically).
+  // Unacknowledged submission waves, keyed by (original submission time,
+  // target) — ordered so resubmission scans oldest-first,
+  // deterministically, and so concurrent waves to different targets stay
+  // distinct.
   struct Outstanding {
     std::uint32_t count = 0;
     TimeNs last_attempt = 0;
   };
-  std::map<TimeNs, Outstanding> outstanding_;
+  std::map<std::pair<TimeNs, NodeId>, Outstanding> outstanding_;
   TimeNs resubmit_timeout_ = 0;
   // The timer always targets the earliest outstanding deadline
   // (min over waves of last_attempt + timeout). A fixed-period timer is

@@ -234,9 +234,11 @@ void check_resync_gate_quorum(const CheckContext& ctx,
 void check_mempool_no_double_commit(const CheckContext& ctx,
                                     std::vector<Violation>& out) {
   // An admitted transaction must enter the committed order at most once:
-  // the mempool's seen-set retains carved ids forever and every submission
-  // of a tx (including retries after a reject) targets the same node, so a
-  // duplicate in any single ledger means admission dedup broke. Checked
+  // the mempool's seen-set retains pending, carved-in-flight, and
+  // committed ids — only ids from dropped (never-committed) batches are
+  // reinstated and forgotten — and every submission of a tx (including
+  // retries after a reject) targets the same node, so a duplicate in any
+  // single ledger means admission dedup or carve settlement broke. Checked
   // per node — cross-node duplication is impossible by construction (ids
   // embed the originating pool).
   if (!ctx.plan->open_loop()) return;
@@ -374,6 +376,65 @@ void check_open_loop_resolution(const CheckContext& ctx,
   }
 }
 
+void check_carve_settlement(const CheckContext& ctx,
+                            std::vector<Violation>& out) {
+  // Liveness of duplicate suppression: a transaction its client still
+  // waits on must have a live path to resolution — pending in its target
+  // node's mempool, carved into a batch that has not been settled yet, or
+  // already committed. An id the mempool *knows* with none of those holds
+  // is suppressed forever: every retry is dropped silently as a duplicate
+  // and the tx can neither commit nor terminally reject. That is exactly
+  // the carved-batch retention bug — a dropped batch must reinstate() its
+  // transactions, a committed one confirm() them.
+  if (!ctx.final_phase || !ctx.plan->open_loop()) return;
+  const auto& pools = ctx.lyra != nullptr ? ctx.lyra->open_pools()
+                                          : ctx.pompe->open_pools();
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    // Pool p drives node p (the fuzz runners attach one pool per node).
+    const NodeId target = static_cast<NodeId>(p);
+    if (ctx.lyra != nullptr && !ctx.lyra->node_alive(target)) continue;
+    const workload::Mempool* mem =
+        ctx.lyra != nullptr ? ctx.lyra->node(target).mempool()
+                            : ctx.pompe->node(target).mempool();
+    if (mem == nullptr) continue;
+    std::set<std::uint64_t> committed;
+    bool committed_built = false;
+    for (const std::uint64_t id : pools[p]->unresolved_ids(64)) {
+      if (!mem->knows(id) || mem->pending(id) || mem->in_flight(id)) {
+        continue;
+      }
+      if (!committed_built) {
+        committed_built = true;
+        if (ctx.pompe != nullptr) {
+          const auto& node = ctx.pompe->node(target);
+          for (const pompe::PompeCommitted& c : node.ledger()) {
+            const Bytes* payload = node.batch_payload(c.batch_digest);
+            if (payload == nullptr) continue;
+            std::vector<workload::WorkloadTx> txs;
+            if (!workload::decode_batch(*payload, &txs)) continue;
+            for (const workload::WorkloadTx& tx : txs) committed.insert(tx.id);
+          }
+        } else {
+          for (const core::CommittedBatch& e :
+               ctx.lyra->node(target).ledger()) {
+            std::vector<workload::WorkloadTx> txs;
+            if (!workload::decode_batch(e.payload, &txs)) continue;
+            for (const workload::WorkloadTx& tx : txs) committed.insert(tx.id);
+          }
+        }
+      }
+      if (committed.count(id) != 0) continue;
+      out.push_back({"carve-settlement",
+                     node_str(target) + ": workload tx " + std::to_string(id) +
+                         " is duplicate-suppressed but neither pending, "
+                         "in a live batch, nor committed — its client can "
+                         "never resolve it",
+                     ctx.now});
+      break;  // one witness per node is enough to triage
+    }
+  }
+}
+
 void check_client_resubmit_lag(const CheckContext& ctx,
                                std::vector<Violation>& out) {
   if (!ctx.final_phase || ctx.plan->resubmit_timeout == 0) return;
@@ -418,6 +479,7 @@ InvariantRegistry InvariantRegistry::standard() {
   r.add("recovery-convergence", /*during=*/false, &check_recovery_convergence);
   r.add("post-fault-progress", /*during=*/false, &check_post_fault_progress);
   r.add("open-loop-resolution", /*during=*/false, &check_open_loop_resolution);
+  r.add("carve-settlement", /*during=*/false, &check_carve_settlement);
   r.add("client-resubmit-lag", /*during=*/false, &check_client_resubmit_lag);
   return r;
 }

@@ -26,6 +26,44 @@ net::Topology benchmark_topology(std::size_t n) {
   return t;
 }
 
+/// Aggregated-client layout (RunConfig::client_shard): nodes grouped into
+/// same-region shards of up to `shard` targets, one pool slot per shard
+/// placed in that shard's region (so client-to-node latencies match the
+/// per-node layout). Nodes below `skip_below` get no clients; a nonzero
+/// `max_targets` (RunConfig::client_nodes) caps the client-bearing set to
+/// nodes 0..max_targets-1.
+struct ShardPlan {
+  std::vector<std::vector<NodeId>> shards;
+  net::Topology topology;
+};
+
+ShardPlan make_shard_plan(std::size_t n, std::size_t shard,
+                          std::size_t skip_below, std::size_t max_targets) {
+  ShardPlan plan;
+  const net::Topology base = net::three_continents(n);
+  for (std::size_t r = 0; r < net::kRegionCount; ++r) {
+    std::vector<NodeId> cur;
+    for (NodeId i = 0; i < n; ++i) {
+      if (i < skip_below) continue;  // no clients on dead nodes
+      if (max_targets > 0 && i >= max_targets) break;
+      if (static_cast<std::size_t>(base.placement[i]) != r) continue;
+      cur.push_back(i);
+      if (cur.size() == shard) {
+        plan.shards.push_back(std::move(cur));
+        cur.clear();
+      }
+    }
+    if (!cur.empty()) plan.shards.push_back(std::move(cur));
+  }
+  std::vector<net::Region> extras;
+  extras.reserve(plan.shards.size());
+  for (const std::vector<NodeId>& s : plan.shards) {
+    extras.push_back(base.placement[s.front()]);
+  }
+  plan.topology = net::three_continents(n, extras);
+  return plan;
+}
+
 template <class Cluster>
 RunResult collect_client_stats(Cluster& cluster, const RunConfig& config) {
   RunResult r;
@@ -129,6 +167,8 @@ RunResult run_lyra(const RunConfig& config) {
   opts.config.delta = ms(160);  // 1.2x the longest one-way leg
   opts.config.lambda = config.lambda;
   opts.config.batch_size = config.batch_size;
+  opts.config.batch_timeout = config.batch_timeout;
+  opts.config.heartbeat_period = config.heartbeat;
   opts.config.obfuscate = config.obfuscate;
   opts.config.max_outstanding_proposals = config.max_outstanding;
   opts.config.memoize_verification = config.memoize_verify;
@@ -139,11 +179,21 @@ RunResult run_lyra(const RunConfig& config) {
   if (config.workload.open_loop) {
     opts.config.mempool_capacity = config.workload.mempool_capacity;
   }
-  opts.topology = benchmark_topology(config.n);
+  const bool sharded_clients =
+      config.client_shard > 0 && !config.workload.open_loop;
+  ShardPlan plan;
+  if (sharded_clients) {
+    plan = make_shard_plan(config.n, config.client_shard,
+                           config.byzantine_silent, config.client_nodes);
+    opts.topology = std::move(plan.topology);
+  } else {
+    opts.topology = benchmark_topology(config.n);
+  }
   opts.seed = config.seed;
   opts.threads = config.threads;
   opts.durable_storage = !config.crash_restarts.empty();
   opts.state_sync = config.wants_state_sync();
+  opts.statesync_config.delta_transfer = config.delta_sync;
   const std::size_t sandwichers =
       config.workload.open_loop ? config.workload.sandwich_attackers : 0;
   if (config.byzantine_silent > 0 || config.replay_attackers > 0 ||
@@ -176,14 +226,23 @@ RunResult run_lyra(const RunConfig& config) {
   LyraCluster cluster(std::move(opts));
   cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);
   const workload::OpenLoopOptions open_opts = make_open_loop_options(config);
-  for (NodeId i = 0; i < config.n; ++i) {
-    if (i < config.byzantine_silent) continue;  // no clients on dead nodes
-    if (config.workload.open_loop) {
-      cluster.add_open_loop_pool(i, open_opts, config.seed);
-    } else {
-      cluster.add_client_pool(i, config.clients_per_node,
+  if (sharded_clients) {
+    for (std::vector<NodeId>& shard : plan.shards) {
+      cluster.add_client_pool(std::move(shard), config.clients_per_node,
                               config.client_start, config.measure_from,
                               config.duration);
+    }
+  } else {
+    for (NodeId i = 0; i < config.n; ++i) {
+      if (i < config.byzantine_silent) continue;  // no clients on dead nodes
+      if (config.workload.open_loop) {
+        cluster.add_open_loop_pool(i, open_opts, config.seed);
+      } else {
+        if (config.client_nodes > 0 && i >= config.client_nodes) continue;
+        cluster.add_client_pool(i, config.clients_per_node,
+                                config.client_start, config.measure_from,
+                                config.duration);
+      }
     }
   }
   for (const RunConfig::CrashRestart& cr : config.crash_restarts) {
@@ -240,12 +299,16 @@ RunResult run_lyra(const RunConfig& config) {
     r.recovery_cpu_ms += to_ms(info.recovery_cpu);
     if (info.stats.torn_tail_bytes > 0) ++r.torn_tail_repairs;
     if (info.outcome == RestartOutcome::kStateSync) ++r.full_state_syncs;
+    if (info.outcome == RestartOutcome::kDeltaSync) ++r.delta_state_syncs;
     if (!info.error.empty()) ++r.refused_restarts;
   }
   const statesync::StateSyncStats sync = cluster.statesync_totals();
   r.sync_chunks_fetched = sync.chunks_fetched;
+  r.sync_chunks_local = sync.chunks_local;
   r.sync_chunks_rejected = sync.chunks_rejected;
   r.sync_bytes_transferred = sync.bytes_transferred;
+  r.sync_bytes_local = sync.bytes_local;
+  r.sync_serves_shed = sync.serves_shed;
   r.sync_entries_installed = sync.entries_installed;
   r.catchup_reveals = sync.catchup_reveals;
   for (NodeId i = 0; i < config.n; ++i) {
@@ -287,12 +350,22 @@ RunResult run_pompe(const RunConfig& config) {
   opts.config.f = config.f();
   opts.config.delta = ms(160);
   opts.config.batch_size = config.batch_size;
+  opts.config.batch_timeout = config.batch_timeout;
   opts.config.initial_leader = 0;  // Oregon
   opts.config.memoize_verification = config.memoize_verify;
   if (config.workload.open_loop) {
     opts.config.mempool_capacity = config.workload.mempool_capacity;
   }
-  opts.topology = benchmark_topology(config.n);
+  const bool sharded_clients =
+      config.client_shard > 0 && !config.workload.open_loop;
+  ShardPlan plan;
+  if (sharded_clients) {
+    plan = make_shard_plan(config.n, config.client_shard, /*skip_below=*/0,
+                           config.client_nodes);
+    opts.topology = std::move(plan.topology);
+  } else {
+    opts.topology = benchmark_topology(config.n);
+  }
   opts.seed = config.seed;
   opts.threads = config.threads;
   const std::size_t sandwichers =
@@ -316,13 +389,22 @@ RunResult run_pompe(const RunConfig& config) {
   PompeCluster cluster(std::move(opts));
   cluster.network().set_bandwidth(config.bandwidth_bytes_per_sec);
   const workload::OpenLoopOptions open_opts = make_open_loop_options(config);
-  for (NodeId i = 0; i < config.n; ++i) {
-    if (config.workload.open_loop) {
-      cluster.add_open_loop_pool(i, open_opts, config.seed);
-    } else {
-      cluster.add_client_pool(i, config.clients_per_node,
+  if (sharded_clients) {
+    for (std::vector<NodeId>& shard : plan.shards) {
+      cluster.add_client_pool(std::move(shard), config.clients_per_node,
                               config.client_start, config.measure_from,
                               config.duration);
+    }
+  } else {
+    for (NodeId i = 0; i < config.n; ++i) {
+      if (config.workload.open_loop) {
+        cluster.add_open_loop_pool(i, open_opts, config.seed);
+      } else {
+        if (config.client_nodes > 0 && i >= config.client_nodes) continue;
+        cluster.add_client_pool(i, config.clients_per_node,
+                                config.client_start, config.measure_from,
+                                config.duration);
+      }
     }
   }
   cluster.start();

@@ -19,6 +19,26 @@ struct RunConfig {
   std::size_t n = 4;
   std::uint32_t clients_per_node = 1600;  // closed-loop width per node
 
+  /// Aggregated clients: 0 keeps one closed-loop pool process per node
+  /// (the legacy shape, byte-identical to all recorded runs). k > 0 groups
+  /// same-region nodes into shards of up to k and drives each shard's
+  /// clients from ONE pool process (client::ClientPool aggregated form) —
+  /// O(n/k) simulation objects instead of O(n), which is what makes
+  /// n = 300–1000 sweeps affordable. Shards never span regions, so the
+  /// client-to-node latency distribution is unchanged. Closed-loop runs
+  /// only (ignored with workload.open_loop).
+  std::size_t client_shard = 0;
+
+  /// Cap on how many nodes host clients: 0 gives every node a client pool
+  /// (the legacy shape); k > 0 attaches pools to nodes 0..k-1 only (the
+  /// round-robin region placement keeps the subset spread across all
+  /// three continents). Every instance costs O(n^2) consensus traffic and
+  /// each client-bearing node proposes, so a cluster-size sweep that only
+  /// needs a load *anchor* — not the saturation knee — caps the proposer
+  /// set to keep wall-clock cost from growing as n^3. Closed-loop runs
+  /// only (ignored with workload.open_loop).
+  std::size_t client_nodes = 0;
+
   TimeNs duration = ms(6000);
   TimeNs measure_from = ms(2500);
   TimeNs client_start = ms(900);  // after Lyra's distance warm-up
@@ -31,6 +51,11 @@ struct RunConfig {
 
   // Protocol knobs (paper defaults).
   std::size_t batch_size = 800;
+  TimeNs batch_timeout = ms(50);   // partial-batch proposal pacing
+  /// Status-heartbeat period (lyra::Config::heartbeat_period). Each beat
+  /// is an O(n) broadcast from every node, so idle-cluster traffic is
+  /// n^2/period — the big-n scaling sweeps stretch it to stay affordable.
+  TimeNs heartbeat = ms(25);
   SeqNum lambda = ms(5);
   bool obfuscate = true;                 // Lyra commit-reveal on/off
   std::size_t max_outstanding = 3;       // Lyra proposal pacing
@@ -72,6 +97,13 @@ struct RunConfig {
   /// unrecoverable disks rejoin via full state transfer.
   bool state_sync = false;
 
+  /// Delta state transfer (statesync::StateSyncConfig::delta_transfer): a
+  /// restarting node whose WAL is corrupt but whose newest snapshot still
+  /// decodes keeps that local prefix and fetches only the missing suffix
+  /// from peers instead of wiping and re-transferring everything. Implies
+  /// state_sync.
+  bool delta_sync = false;
+
   /// Open-loop workload engine (docs/WORKLOAD.md). Off by default:
   /// open_loop=false leaves every node's mempool disabled and the runs
   /// byte-identical to the closed-loop harness above.
@@ -100,7 +132,7 @@ struct RunConfig {
 
   std::size_t f() const { return (n - 1) / 3; }
   bool wants_state_sync() const {
-    if (state_sync) return true;
+    if (state_sync || delta_sync) return true;
     for (const CrashRestart& cr : crash_restarts) {
       if (cr.wipe_disk_at > 0 || cr.corrupt_wal) return true;
     }
@@ -145,11 +177,15 @@ struct RunResult {
   std::uint64_t torn_tail_repairs = 0;      // restarts that truncated a tail
   std::uint64_t refused_restarts = 0;       // unrecoverable, no state sync
   std::uint64_t full_state_syncs = 0;       // rebuilt entirely from peers
+  std::uint64_t delta_state_syncs = 0;      // kept local prefix, pulled suffix
 
   // State-sync counters, summed over all nodes (state_sync runs only):
   std::uint64_t sync_chunks_fetched = 0;
+  std::uint64_t sync_chunks_local = 0;      // satisfied from local disk
   std::uint64_t sync_chunks_rejected = 0;
   std::uint64_t sync_bytes_transferred = 0;
+  std::uint64_t sync_bytes_local = 0;       // bytes NOT moved over the wire
+  std::uint64_t sync_serves_shed = 0;       // chunk serves dropped at the cap
   std::uint64_t sync_entries_installed = 0;
   std::uint64_t catchup_reveals = 0;
   std::uint64_t unrevealed_batches = 0;  // reveal holes left at run end

@@ -13,6 +13,7 @@ const char* to_string(RestartOutcome outcome) {
     case RestartOutcome::kNone: return "none";
     case RestartOutcome::kLocalRecovery: return "local-recovery";
     case RestartOutcome::kStateSync: return "state-sync";
+    case RestartOutcome::kDeltaSync: return "delta-sync";
     case RestartOutcome::kRefusedWalCorrupt: return "refused-wal-corrupt";
     case RestartOutcome::kRefusedSnapshotsCorrupt:
       return "refused-snapshots-corrupt";
@@ -118,18 +119,31 @@ bool LyraCluster::restart_node(NodeId id) {
   }
 
   bool full_sync = false;
+  bool delta_sync = false;
   if (refusal != RestartOutcome::kNone) {
     if (!options_.state_sync) {
       info.outcome = refusal;
       info.error = why;
       return false;
     }
-    // Local recovery is impossible but peers hold the state: discard the
-    // disk (a half-trusted WAL must not shadow the transferred prefix)
-    // and rejoin from scratch via full state transfer.
-    disks_[id]->wipe();
-    recovered = storage::RecoveredState{};
-    full_sync = true;
+    if (refusal == RestartOutcome::kRefusedWalCorrupt &&
+        options_.statesync_config.delta_transfer &&
+        recovered.stats.snapshot_loaded) {
+      // The WAL cannot be trusted, but the CRC-checked snapshot (plus the
+      // clean replay prefix before the first bad frame) can: keep that
+      // local prefix and let delta transfer pull only the missing suffix
+      // from peers instead of wiping and re-fetching everything. Losing
+      // the unreadable WAL tail is safe — anything this node ever acked
+      // was committed by a quorum and sits below the negotiated cut.
+      delta_sync = true;
+    } else {
+      // Local recovery is impossible but peers hold the state: discard the
+      // disk (a half-trusted WAL must not shadow the transferred prefix)
+      // and rejoin from scratch via full state transfer.
+      disks_[id]->wipe();
+      recovered = storage::RecoveredState{};
+      full_sync = true;
+    }
   }
 
   std::unique_ptr<core::LyraNode> node = build_node(id);
@@ -144,8 +158,9 @@ bool LyraCluster::restart_node(NodeId id) {
     node->enable_state_sync(options_.statesync_config);
   }
 
-  info.outcome =
-      full_sync ? RestartOutcome::kStateSync : RestartOutcome::kLocalRecovery;
+  info.outcome = full_sync    ? RestartOutcome::kStateSync
+                 : delta_sync ? RestartOutcome::kDeltaSync
+                              : RestartOutcome::kLocalRecovery;
   info.recovery_cpu = node->cpu_time_used();
   ++restarts_;
 
@@ -153,7 +168,10 @@ bool LyraCluster::restart_node(NodeId id) {
   nodes_[id] = std::move(node);
   nodes_[id]->on_start();
   if (options_.state_sync) {
-    if (full_sync) {
+    if (full_sync || delta_sync) {
+      // Same protocol either way; with delta_transfer on, the manager
+      // claims every chunk already covered by the kept local prefix and
+      // only fetches the missing suffix over the network.
       nodes_[id]->statesync()->begin_full_sync();
     } else {
       // Local recovery may have left reveal holes (payload bytes are not
@@ -215,6 +233,23 @@ client::ClientPool& LyraCluster::add_client_pool(NodeId target,
               "no topology slot left for a client pool");
   auto pool = std::make_unique<client::ClientPool>(
       &sim_, network_.get(), next_id_++, target, width, start_at,
+      measure_from, measure_to);
+  network_->attach(pool.get());
+  pools_.push_back(std::move(pool));
+  return *pools_.back();
+}
+
+client::ClientPool& LyraCluster::add_client_pool(std::vector<NodeId> targets,
+                                                 std::uint32_t width,
+                                                 TimeNs start_at,
+                                                 TimeNs measure_from,
+                                                 TimeNs measure_to) {
+  LYRA_ASSERT(!started_, "add pools before start()");
+  LYRA_ASSERT(next_id_ < options_.topology.size(),
+              "no topology slot left for a client pool");
+  LYRA_ASSERT(!targets.empty(), "aggregated pool needs at least one target");
+  auto pool = std::make_unique<client::ClientPool>(
+      &sim_, network_.get(), next_id_++, std::move(targets), width, start_at,
       measure_from, measure_to);
   network_->attach(pool.get());
   pools_.push_back(std::move(pool));
@@ -301,9 +336,12 @@ statesync::StateSyncStats LyraCluster::statesync_totals() const {
     total.syncs_completed += s.syncs_completed;
     total.manifest_rounds += s.manifest_rounds;
     total.chunks_fetched += s.chunks_fetched;
+    total.chunks_local += s.chunks_local;
     total.chunks_rejected += s.chunks_rejected;
     total.chunk_timeouts += s.chunk_timeouts;
     total.bytes_transferred += s.bytes_transferred;
+    total.bytes_local += s.bytes_local;
+    total.serves_shed += s.serves_shed;
     total.entries_installed += s.entries_installed;
     total.catchup_reveals += s.catchup_reveals;
     total.catchup_rejections += s.catchup_rejections;

@@ -54,6 +54,9 @@ enum class RestartOutcome {
   kNone,           ///< never restarted
   kLocalRecovery,  ///< disk state decoded; rejoined via the resync gate
   kStateSync,      ///< disk unusable; wiped and rebuilt via peer transfer
+  /// WAL unusable but a snapshot decoded and delta transfer is on: kept
+  /// the snapshot prefix and pulled only the missing suffix from peers.
+  kDeltaSync,
   // Refusals (restart_node returned false; node stays down). Only
   // reachable with state_sync off — with it on these become kStateSync.
   kRefusedWalCorrupt,        ///< mid-log CRC failure
@@ -92,6 +95,15 @@ class LyraCluster {
   client::ClientPool& add_client_pool(NodeId target, std::uint32_t width,
                                       TimeNs start_at, TimeNs measure_from,
                                       TimeNs measure_to);
+
+  /// Aggregated form: one pool process drives `width` logical clients at
+  /// *each* of `targets` through shared timers — O(1) simulation objects
+  /// per shard instead of per node, which is what makes n=300–1000
+  /// sweeps affordable. Consumes a single topology slot (place shards so
+  /// that slot shares a region with the targets to preserve latencies).
+  client::ClientPool& add_client_pool(std::vector<NodeId> targets,
+                                      std::uint32_t width, TimeNs start_at,
+                                      TimeNs measure_from, TimeNs measure_to);
 
   /// Attaches an open-loop traffic source targeting `target`
   /// (docs/WORKLOAD.md). Arrival and field streams derive from `run_seed`

@@ -54,6 +54,23 @@ client::ClientPool& PompeCluster::add_client_pool(NodeId target,
   return *pools_.back();
 }
 
+client::ClientPool& PompeCluster::add_client_pool(std::vector<NodeId> targets,
+                                                  std::uint32_t width,
+                                                  TimeNs start_at,
+                                                  TimeNs measure_from,
+                                                  TimeNs measure_to) {
+  LYRA_ASSERT(!started_, "add pools before start()");
+  LYRA_ASSERT(next_id_ < options_.topology.size(),
+              "no topology slot left for a client pool");
+  LYRA_ASSERT(!targets.empty(), "aggregated pool needs at least one target");
+  auto pool = std::make_unique<client::ClientPool>(
+      &sim_, network_.get(), next_id_++, std::move(targets), width, start_at,
+      measure_from, measure_to);
+  network_->attach(pool.get());
+  pools_.push_back(std::move(pool));
+  return *pools_.back();
+}
+
 workload::OpenLoopClientPool& PompeCluster::add_open_loop_pool(
     NodeId target, const workload::OpenLoopOptions& options,
     std::uint64_t run_seed) {

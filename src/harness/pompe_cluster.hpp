@@ -44,6 +44,10 @@ class PompeCluster {
   client::ClientPool& add_client_pool(NodeId target, std::uint32_t width,
                                       TimeNs start_at, TimeNs measure_from,
                                       TimeNs measure_to);
+  /// Aggregated form; see LyraCluster::add_client_pool(vector).
+  client::ClientPool& add_client_pool(std::vector<NodeId> targets,
+                                      std::uint32_t width, TimeNs start_at,
+                                      TimeNs measure_from, TimeNs measure_to);
   /// Open-loop traffic source; see LyraCluster::add_open_loop_pool.
   workload::OpenLoopClientPool& add_open_loop_pool(
       NodeId target, const workload::OpenLoopOptions& options,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "crypto/cost_model.hpp"
 #include "support/types.hpp"
@@ -36,6 +37,12 @@ struct Config {
   /// the node count — the leaderless scaling of Fig. 3.
   std::size_t max_outstanding_proposals = 3;
 
+  /// How many times a rejected (decided-0) own batch is re-proposed
+  /// before it is dropped and its mempool transactions reinstated.
+  /// SMR-Liveness (Lemma 8) wants effectively unbounded retries, hence
+  /// the large default; tests shrink it to reach the drop path quickly.
+  std::uint32_t max_batch_resubmissions = 10'000;
+
   /// Period of the status heartbeat carrying the Commit-protocol
   /// piggybacks when a node has no other traffic.
   TimeNs heartbeat_period = ms(25);
@@ -58,7 +65,10 @@ struct Config {
   TimeNs clock_offset_spread = ms(2);
 
   /// Commit-reveal obfuscation on/off (off = ablation: Lyra ordering
-  /// without payload hiding).
+  /// without payload hiding). The VSS key shares live in GF(256), so
+  /// obfuscated deployments cap at n = 255 — and the 2f+1 reconstruction
+  /// threshold itself outgrows any byte field past n ~ 380. Scaling
+  /// sweeps beyond the cap run the ordering core with this off.
   bool obfuscate = true;
 
   /// Keep revealed batch payloads in the ledger. Benchmarks switch this

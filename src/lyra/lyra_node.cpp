@@ -237,6 +237,31 @@ PendingBatch LyraNode::carve_mempool(std::size_t max_txs) {
   return batch;
 }
 
+void LyraNode::settle_carved_batch(
+    const std::vector<BatchAssembler::Chunk>& chunks, bool committed) {
+  if (mempool_ == nullptr) return;
+  std::vector<std::uint64_t> ids;
+  for (const BatchAssembler::Chunk& chunk : chunks) {
+    ids.insert(ids.end(), chunk.tx_ids.begin(), chunk.tx_ids.end());
+  }
+  if (ids.empty()) return;  // assembler-fed batches carry no ids
+  if (committed) {
+    mempool_->confirm(ids);
+    return;
+  }
+  // Dropped without committing: put the transactions back in contention.
+  // Whatever the pool refuses under current pressure gets the standard
+  // backpressure signal so the client's retry ladder takes over; without
+  // this the ids would stay duplicate-suppressed and the txs could never
+  // commit (carved-batch retention liveness bug).
+  std::map<NodeId, std::vector<std::uint64_t>> rejects;
+  for (const workload::WorkloadTx& tx : mempool_->reinstate(ids)) {
+    rejects[tx.client].push_back(tx.id);
+  }
+  send_mempool_rejects(rejects);
+  if (!mempool_->empty()) arm_batch_timer();
+}
+
 void LyraNode::arm_batch_timer() {
   if (batch_timer_armed_) return;
   batch_timer_armed_ = true;
@@ -894,7 +919,7 @@ void LyraNode::decide(BocInstance& b, bool value) {
       PendingBatch batch = std::move(it->second);
       own_batches_.erase(it);
       own_s_ref_.erase(b.inst);
-      if (++batch.attempts <= kMaxResubmissions) {
+      if (++batch.attempts <= config_.max_batch_resubmissions) {
         // SMR-Liveness (Lemma 8) rests on correct processes continuously
         // re-inputting rejected transactions; pre-GST rejections are
         // expected, so retry patiently (one Delta) and effectively
@@ -905,6 +930,7 @@ void LyraNode::decide(BocInstance& b, bool value) {
         });
       } else {
         ++stats_.dropped_batches;
+        settle_carved_batch(batch.chunks, /*committed=*/false);
       }
     }
   }
@@ -1126,6 +1152,7 @@ void LyraNode::notify_clients(const InstanceId& inst, SeqNum seq) {
   const auto it = own_batches_.find(inst);
   if (it != own_batches_.end()) {
     notify(it->second.chunks);
+    settle_carved_batch(it->second.chunks, /*committed=*/true);
     own_batches_.erase(it);
     own_s_ref_.erase(inst);
     own_proposed_at_.erase(inst);
@@ -1425,13 +1452,19 @@ void LyraNode::sync_charge_hash(std::size_t bytes) {
 
 std::uint64_t LyraNode::sync_ledger_length() const { return ledger_.size(); }
 
-std::vector<AcceptedEntry> LyraNode::sync_committed_prefix(
-    std::uint64_t upto) const {
-  const std::size_t count =
-      std::min<std::uint64_t>(upto, ledger_.size());
+std::vector<AcceptedEntry> LyraNode::sync_committed_entries(
+    std::uint64_t first, std::size_t count) const {
   std::vector<AcceptedEntry> out;
+  if (first >= ledger_.size()) return out;
+  count = std::min<std::uint64_t>(count, ledger_.size() - first);
   out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  // Serve the range out of the durable snapshot image where it covers it —
+  // the chunk server then streams from storage instead of walking the
+  // resident ledger — and top up the post-snapshot tail from memory.
+  if (journal_ != nullptr) {
+    journal_->read_ledger_entries(first, count, out);
+  }
+  for (std::size_t i = first + out.size(); out.size() < count; ++i) {
     AcceptedEntry e;
     e.cipher_id = ledger_[i].cipher_id;
     e.seq = ledger_[i].seq;

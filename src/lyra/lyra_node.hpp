@@ -162,8 +162,8 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
                                std::function<void()> fn) override;
   void sync_charge_hash(std::size_t bytes) override;
   std::uint64_t sync_ledger_length() const override;
-  std::vector<AcceptedEntry> sync_committed_prefix(
-      std::uint64_t upto) const override;
+  std::vector<AcceptedEntry> sync_committed_entries(
+      std::uint64_t first, std::size_t count) const override;
   bool sync_lookup_reveal(const crypto::Digest& cipher_id,
                           crypto::Digest& payload_digest,
                           std::uint32_t& tx_count,
@@ -211,6 +211,12 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
   /// Carves the highest-fee mempool transactions into a batch whose
   /// chunks carry per-transaction ids (client-grouped, carve order).
   PendingBatch carve_mempool(std::size_t max_txs);
+  /// Settles a mempool-carved batch with the mempool: committed batches
+  /// release the carve stash (ids stay deduplicated forever), dropped
+  /// batches reinstate their transactions so they compete for the next
+  /// carve instead of being duplicate-suppressed while never committed.
+  void settle_carved_batch(const std::vector<BatchAssembler::Chunk>& chunks,
+                           bool committed);
 
   // --- message handlers ---
   void handle_submit(const sim::Envelope& env, const SubmitMsg& m);
@@ -347,8 +353,6 @@ class LyraNode : public sim::Process, public statesync::StateSyncHost {
   std::size_t resync_replies_ = 0;
   std::uint32_t resync_peer_replies_ = 0;
   std::uint32_t resync_peer_replies_at_open_ = 0;
-
-  static constexpr std::uint32_t kMaxResubmissions = 10'000;
 };
 
 template <class Msg>

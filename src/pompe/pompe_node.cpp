@@ -373,6 +373,15 @@ void PompeNode::on_block_commit(const hotstuff::Block& block) {
           msg->tx_ids = chunk.tx_ids;
           send(chunk.client, std::move(msg));
         }
+        if (mempool_ != nullptr) {
+          std::vector<std::uint64_t> ids;
+          for (const core::BatchAssembler::Chunk& chunk : it->second.chunks) {
+            ids.insert(ids.end(), chunk.tx_ids.begin(), chunk.tx_ids.end());
+          }
+          // Pompē never drops an ordered batch, so commit is the only
+          // settlement point for the mempool's carve stash.
+          mempool_->confirm(ids);
+        }
         own_batches_.erase(it);
       }
     }

@@ -10,12 +10,14 @@ Bytes encode_sync_prefix(const std::vector<core::AcceptedEntry>& entries) {
   Bytes out;
   out.reserve(sync_prefix_bytes(entries.size()));
   append_u64(out, entries.size());
-  for (const core::AcceptedEntry& e : entries) {
-    storage::append_digest(out, e.cipher_id);
-    append_i64(out, e.seq);
-    storage::append_instance(out, e.inst);
-  }
+  for (const core::AcceptedEntry& e : entries) append_sync_entry(out, e);
   return out;
+}
+
+void append_sync_entry(Bytes& out, const core::AcceptedEntry& e) {
+  storage::append_digest(out, e.cipher_id);
+  append_i64(out, e.seq);
+  storage::append_instance(out, e.inst);
 }
 
 bool decode_sync_prefix(BytesView data,

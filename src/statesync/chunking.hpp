@@ -26,6 +26,11 @@ inline constexpr std::uint64_t sync_prefix_bytes(std::uint64_t count) {
 /// cipher arrives), so including them would split the f+1 manifest quorum.
 Bytes encode_sync_prefix(const std::vector<core::AcceptedEntry>& entries);
 
+/// Appends the kSyncEntryBytes-byte wire form of one prefix entry — the
+/// unit the chunk server streams from, so a single chunk can be encoded
+/// without materializing the whole blob.
+void append_sync_entry(Bytes& out, const core::AcceptedEntry& entry);
+
 /// Strict inverse; false on any truncation, trailing garbage, or length
 /// lie. The entry count is bounds-checked against the blob size before any
 /// allocation, so a hostile header cannot balloon memory.

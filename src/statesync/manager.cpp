@@ -155,24 +155,79 @@ void StateSyncManager::adopt_manifest(const ManifestGroup& group) {
   chunks_.assign(chunk_digests_.size(), ChunkState{});
   chunks_done_ = 0;
   inflight_ = 0;
+  server_inflight_.assign(n_, 0);
+  server_strikes_.assign(n_, 0);
+  if (config_.delta_transfer) claim_local_chunks();
   pump_chunks();
 }
 
-NodeId StateSyncManager::pick_server() {
+void StateSyncManager::claim_local_chunks() {
+  // Delta transfer: every chunk that lies entirely inside the recovered
+  // local prefix can be synthesized byte-for-byte (the blob layout is
+  // flat: header, then fixed-size entries) and checked against the
+  // f+1-agreed chunk digest. A match is exactly as trustworthy as a
+  // verified network chunk; a mismatch means the local prefix diverged,
+  // and that chunk is pulled like any other.
+  const std::uint64_t local =
+      std::min<std::uint64_t>(host_->sync_ledger_length(), cut_);
+  const std::uint64_t covered = sync_prefix_bytes(local);
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const std::uint64_t begin = i * config_.chunk_bytes;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + config_.chunk_bytes, total_bytes_);
+    if (end > covered) break;  // extends past what we hold locally
+    Bytes data = encode_blob_range(cut_, begin, end, /*tampered=*/false);
+    host_->sync_charge_hash(data.size());
+    if (data.size() != end - begin ||
+        chunk_digest(cut_, static_cast<std::uint32_t>(i), data) !=
+            chunk_digests_[i]) {
+      continue;
+    }
+    chunks_[i].state = ChunkState::kDone;
+    chunks_[i].data = std::move(data);
+    chunks_done_++;
+    stats_.chunks_local++;
+    stats_.bytes_local += end - begin;
+  }
+}
+
+StateSyncManager::Pick StateSyncManager::pick_server(NodeId& out) {
+  bool any_alive = false;
+  NodeId best = kNoNode;
+  std::size_t best_pos = 0;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    const NodeId id = servers_[(next_server_ + i) % servers_.size()];
-    if (!demoted_[id]) {
-      next_server_ = (next_server_ + i + 1) % servers_.size();
-      return id;
+    const std::size_t pos = (next_server_ + i) % servers_.size();
+    const NodeId id = servers_[pos];
+    if (demoted_[id]) continue;
+    any_alive = true;
+    if (config_.max_per_server_inflight > 0 &&
+        server_inflight_[id] >= config_.max_per_server_inflight) {
+      continue;
+    }
+    // Fewest consecutive timeouts wins; the strict < keeps round-robin
+    // order on ties, so timeout-free transfers pick exactly as before.
+    if (best == kNoNode || server_strikes_[id] < server_strikes_[best]) {
+      best = id;
+      best_pos = pos;
     }
   }
-  return kNoNode;
+  if (!any_alive) return Pick::kExhausted;
+  if (best == kNoNode) return Pick::kSaturated;
+  next_server_ = (best_pos + 1) % servers_.size();
+  out = best;
+  return Pick::kOk;
 }
 
 void StateSyncManager::exclude(NodeId peer, bool byzantine) {
   if (peer >= n_ || demoted_[peer]) return;
   demoted_[peer] = true;
   if (byzantine) stats_.peers_demoted++;
+}
+
+void StateSyncManager::release_assignment(NodeId server) {
+  if (server < n_ && server_inflight_[server] > 0) {
+    server_inflight_[server]--;
+  }
 }
 
 void StateSyncManager::pump_chunks() {
@@ -185,23 +240,26 @@ void StateSyncManager::pump_chunks() {
       }
     }
     if (next == chunks_.size()) break;  // nothing pending (inflight or done)
-    if (!request_chunk(next)) return;   // servers exhausted: re-probing
+    NodeId server = kNoNode;
+    const Pick pick = pick_server(server);
+    if (pick == Pick::kExhausted) {
+      // Every manifest-quorum member is demoted or lost the cut; the
+      // quorum itself is stale. Renegotiate from scratch.
+      start_probe();
+      return;
+    }
+    if (pick == Pick::kSaturated) break;  // a reply or timeout re-pumps
+    request_chunk(next, server);
   }
   if (chunks_done_ == chunks_.size()) assemble_and_install();
 }
 
-bool StateSyncManager::request_chunk(std::size_t index) {
+void StateSyncManager::request_chunk(std::size_t index, NodeId server) {
   ChunkState& cs = chunks_[index];
-  const NodeId server = pick_server();
-  if (server == kNoNode) {
-    // Every manifest-quorum member is demoted or lost the cut; the quorum
-    // itself is stale. Renegotiate from scratch.
-    start_probe();
-    return false;
-  }
   cs.state = ChunkState::kInflight;
   cs.server = server;
   inflight_++;
+  server_inflight_[server]++;
 
   auto req = sim::make_payload<SyncChunkReqMsg>();
   req->cut = cut_;
@@ -220,15 +278,20 @@ bool StateSyncManager::request_chunk(std::size_t index) {
     ChunkState& c = chunks_[index];
     if (c.state != ChunkState::kInflight || c.attempt != attempt) return;
     // Timed out: rotate to the next server. Slowness is not proof of
-    // misbehaviour, so the old server stays eligible for other chunks.
+    // misbehaviour, so the old server is deprioritized (a strike per
+    // consecutive timeout, cleared by any verified reply) rather than
+    // demoted, and its outstanding slot is freed for the cap.
     stats_.chunk_timeouts++;
+    if (c.server < n_) {
+      release_assignment(c.server);
+      server_strikes_[c.server]++;
+    }
     c.state = ChunkState::kPending;
     c.server = kNoNode;
     c.attempt++;
     inflight_--;
     pump_chunks();
   });
-  return true;
 }
 
 void StateSyncManager::handle_chunk_reply(const sim::Envelope& env,
@@ -245,6 +308,7 @@ void StateSyncManager::handle_chunk_reply(const sim::Envelope& env,
       cs.state == ChunkState::kInflight && cs.server == env.from;
   auto release = [&] {
     if (!assigned) return;
+    release_assignment(env.from);
     cs.state = ChunkState::kPending;
     cs.server = kNoNode;
     cs.attempt++;
@@ -270,7 +334,13 @@ void StateSyncManager::handle_chunk_reply(const sim::Envelope& env,
     return;
   }
 
-  if (cs.state == ChunkState::kInflight) inflight_--;
+  if (cs.state == ChunkState::kInflight) {
+    // Whoever currently holds the assignment (env.from, or another server
+    // if this is a late reply to a reassigned chunk) gets its slot back.
+    release_assignment(cs.server);
+    inflight_--;
+  }
+  server_strikes_[env.from] = 0;  // a verified reply clears slow-peer strikes
   cs.state = ChunkState::kDone;
   cs.data = m.data;
   chunks_done_++;
@@ -445,17 +515,98 @@ void StateSyncManager::try_install_catchup(const crypto::Digest& cipher_id) {
 // ---------------------------------------------------------------------------
 // serving side
 
-Bytes StateSyncManager::serving_blob(std::uint64_t cut) {
-  if (serve_cache_cut_ == cut && !serve_cache_.empty()) return serve_cache_;
-  Bytes blob = encode_sync_prefix(host_->sync_committed_prefix(cut));
-  if (byzantine_ == ByzantineSyncMode::kWrongManifest && blob.size() > 8) {
+Bytes StateSyncManager::encode_blob_range(std::uint64_t cut,
+                                          std::uint64_t begin,
+                                          std::uint64_t end,
+                                          bool tampered) const {
+  const std::uint64_t total = sync_prefix_bytes(cut);
+  end = std::min(end, total);
+  if (begin >= end) return {};
+  // Build whole records covering [begin, end) into a staging buffer, then
+  // slice. The buffer never exceeds the range by more than one entry plus
+  // the 8-byte count header.
+  Bytes buf;
+  buf.reserve(static_cast<std::size_t>(end - begin) + kSyncEntryBytes + 8);
+  std::uint64_t buf_start = 0;
+  if (begin < 8) {
+    append_u64(buf, cut);
+  } else {
+    buf_start = 8 + ((begin - 8) / kSyncEntryBytes) * kSyncEntryBytes;
+  }
+  const std::uint64_t first_entry =
+      buf_start <= 8 ? 0 : (buf_start - 8) / kSyncEntryBytes;
+  const std::uint64_t need =
+      end <= 8 ? 0 : (end - 8 + kSyncEntryBytes - 1) / kSyncEntryBytes;
+  if (need > first_entry) {
+    const std::vector<core::AcceptedEntry> entries =
+        host_->sync_committed_entries(
+            first_entry, static_cast<std::size_t>(need - first_entry));
+    for (const core::AcceptedEntry& e : entries) append_sync_entry(buf, e);
+  }
+  if (buf.size() < end - buf_start) return {};  // prefix shorter than cut
+  Bytes out(buf.begin() + static_cast<std::ptrdiff_t>(begin - buf_start),
+            buf.begin() + static_cast<std::ptrdiff_t>(end - buf_start));
+  if (tampered && begin <= 8 && 8 < end) {
     // Self-consistent lie: tamper the blob *before* digests are computed,
     // so manifest and chunks agree with each other but with no honest peer.
-    blob[8] ^= 0x01;
+    out[8 - begin] ^= 0x01;
   }
-  serve_cache_cut_ = cut;
-  serve_cache_ = std::move(blob);
-  return serve_cache_;
+  return out;
+}
+
+Bytes StateSyncManager::serve_chunk(std::uint64_t cut, std::size_t chunk_bytes,
+                                    std::uint32_t index) {
+  for (ServeChunk& c : serve_lru_) {
+    if (c.cut == cut && c.chunk_bytes == chunk_bytes && c.index == index) {
+      c.stamp = ++serve_stamp_;
+      return c.data;
+    }
+  }
+  const std::uint64_t begin = std::uint64_t{index} * chunk_bytes;
+  ServeChunk fresh;
+  fresh.cut = cut;
+  fresh.chunk_bytes = chunk_bytes;
+  fresh.index = index;
+  fresh.stamp = ++serve_stamp_;
+  fresh.data =
+      encode_blob_range(cut, begin, begin + chunk_bytes,
+                        byzantine_ == ByzantineSyncMode::kWrongManifest);
+  Bytes data = fresh.data;
+  if (serve_lru_.size() < std::max<std::size_t>(config_.serve_cache_chunks, 1)) {
+    serve_lru_.push_back(std::move(fresh));
+  } else {
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < serve_lru_.size(); ++i) {
+      if (serve_lru_[i].stamp < serve_lru_[oldest].stamp) oldest = i;
+    }
+    serve_lru_[oldest] = std::move(fresh);
+  }
+  return data;
+}
+
+const std::vector<crypto::Digest>& StateSyncManager::serve_manifest(
+    std::uint64_t cut, std::size_t chunk_bytes) {
+  if (manifest_cache_cut_ == cut && manifest_cache_chunk_bytes_ == chunk_bytes &&
+      !manifest_cache_.empty()) {
+    return manifest_cache_;
+  }
+  const std::uint64_t total = sync_prefix_bytes(cut);
+  const std::size_t count = chunk_count(total, chunk_bytes);
+  manifest_cache_.clear();
+  manifest_cache_.reserve(count);
+  const bool tampered = byzantine_ == ByzantineSyncMode::kWrongManifest;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Streamed, not served through the LRU: a manifest pass touches every
+    // chunk once and would otherwise flush the whole cache.
+    const std::uint64_t begin = std::uint64_t{i} * chunk_bytes;
+    const Bytes data =
+        encode_blob_range(cut, begin, begin + chunk_bytes, tampered);
+    manifest_cache_.push_back(
+        chunk_digest(cut, static_cast<std::uint32_t>(i), data));
+  }
+  manifest_cache_cut_ = cut;
+  manifest_cache_chunk_bytes_ = chunk_bytes;
+  return manifest_cache_;
 }
 
 void StateSyncManager::handle_manifest_req(const sim::Envelope& env,
@@ -470,17 +621,10 @@ void StateSyncManager::handle_manifest_req(const sim::Envelope& env,
   reply->cut = m.want_cut;
   reply->have = reply->ledger_len >= m.want_cut;
   if (reply->have) {
-    const Bytes blob = serving_blob(m.want_cut);
-    host_->sync_charge_hash(blob.size());
-    reply->total_bytes = blob.size();
-    const std::size_t count =
-        chunk_count(blob.size(), static_cast<std::size_t>(m.chunk_bytes));
-    reply->chunk_digests.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      reply->chunk_digests.push_back(chunk_digest(
-          m.want_cut, static_cast<std::uint32_t>(i),
-          chunk_slice(blob, i, static_cast<std::size_t>(m.chunk_bytes))));
-    }
+    reply->total_bytes = sync_prefix_bytes(m.want_cut);
+    host_->sync_charge_hash(reply->total_bytes);
+    reply->chunk_digests =
+        serve_manifest(m.want_cut, static_cast<std::size_t>(m.chunk_bytes));
     reply->manifest_digest =
         manifest_digest(m.want_cut, reply->total_bytes, reply->chunk_digests);
   }
@@ -497,13 +641,25 @@ void StateSyncManager::handle_chunk_req(const sim::Envelope& env,
   reply->chunk = m.chunk;
   reply->have = host_->sync_ledger_length() >= m.cut;
   if (reply->have) {
-    const Bytes blob = serving_blob(m.cut);
-    const BytesView slice =
-        chunk_slice(blob, m.chunk, static_cast<std::size_t>(m.chunk_bytes));
-    reply->data.assign(slice.begin(), slice.end());
+    if (config_.max_concurrent_serves > 0 &&
+        serves_inflight_ >= config_.max_concurrent_serves) {
+      // At the serve cap: shed instead of queueing unbounded work. The
+      // requester's per-chunk timeout rotates it to another quorum member.
+      stats_.serves_shed++;
+      return;
+    }
+    reply->data = serve_chunk(m.cut, static_cast<std::size_t>(m.chunk_bytes),
+                              m.chunk);
     if (byzantine_ == ByzantineSyncMode::kGarbageChunks &&
         !reply->data.empty()) {
       reply->data[0] ^= 0xFF;  // honest manifest, garbage bytes
+    }
+    if (config_.max_concurrent_serves > 0) {
+      // A serve occupies the node's modeled transfer bandwidth for ~delta.
+      serves_inflight_++;
+      host_->sync_set_timer(delta_, [this] {
+        if (serves_inflight_ > 0) serves_inflight_--;
+      });
     }
   }
   host_->sync_send(env.from, reply);

@@ -23,6 +23,24 @@ struct StateSyncConfig {
   std::size_t max_inflight_chunks = 4;
   /// Ciphers per reveal catch-up round.
   std::size_t max_reveal_batch = 64;
+  /// Requester-side cap on chunk requests outstanding at a single server
+  /// (0 = unlimited). Keeps one slow-but-honest peer from absorbing the
+  /// whole inflight window a timeout at a time.
+  std::size_t max_per_server_inflight = 2;
+  /// Serving-side LRU capacity, in encoded chunks. Chunks are produced on
+  /// demand from the durable snapshot / committed prefix, so this bounds
+  /// the server's transfer memory at a few chunks instead of a whole blob
+  /// per cut.
+  std::size_t serve_cache_chunks = 16;
+  /// Serving-side cap on chunk serves in flight (each serve occupies the
+  /// modeled CPU for ~delta); 0 = unlimited. Requests arriving past the
+  /// cap are shed — the requester's timeout path retries elsewhere.
+  std::size_t max_concurrent_serves = 0;
+  /// Delta transfer: a requester that recovered a local committed prefix
+  /// synthesizes every chunk lying inside it, digest-verifies it against
+  /// the f+1-agreed manifest, and pulls only the missing suffix over the
+  /// network. Off by default so default-path schedules stay byte-identical.
+  bool delta_transfer = false;
 };
 
 struct StateSyncStats {
@@ -38,6 +56,9 @@ struct StateSyncStats {
   std::uint64_t catchup_rejections = 0;///< served payloads failing their digest
   std::uint64_t peers_demoted = 0;     ///< peers excluded for serving garbage
   std::uint64_t installs_refused = 0;  ///< host rejected a conflicting prefix
+  std::uint64_t chunks_local = 0;      ///< delta: chunks satisfied locally
+  std::uint64_t bytes_local = 0;       ///< delta: bytes never sent on the wire
+  std::uint64_t serves_shed = 0;       ///< chunk requests dropped at the serve cap
 };
 
 /// Test hook: how a Byzantine node's manager misbehaves on the *serving*
@@ -66,9 +87,12 @@ class StateSyncHost {
   // --- serving side (every node, including one that is itself syncing) ---
 
   virtual std::uint64_t sync_ledger_length() const = 0;
-  /// First `upto` entries of the committed prefix, in commit order.
-  virtual std::vector<core::AcceptedEntry> sync_committed_prefix(
-      std::uint64_t upto) const = 0;
+  /// Committed-prefix entries [first, first+count) in commit order,
+  /// preferably read out of the durable snapshot image rather than the
+  /// in-memory ledger (the server never needs more than a chunk's worth
+  /// resident at once). May return fewer entries when the prefix ends.
+  virtual std::vector<core::AcceptedEntry> sync_committed_entries(
+      std::uint64_t first, std::size_t count) const = 0;
   /// Reveal facts for one cipher: false when this node knows nothing about
   /// it. `payload` stays empty when the bytes were not retained (the digest
   /// vote still counts).
@@ -177,14 +201,22 @@ class StateSyncManager {
   void compute_cut();
   void start_manifest();
   void adopt_manifest(const ManifestGroup& group);
+  void claim_local_chunks();
   void pump_chunks();
-  bool request_chunk(std::size_t index);
+  void request_chunk(std::size_t index, NodeId server);
   void assemble_and_install();
   void finish_sync(const std::vector<core::AcceptedEntry>& entries);
-  NodeId pick_server();
+  /// Next server for a chunk request: among non-demoted quorum members
+  /// below their outstanding cap, the one with the fewest consecutive
+  /// timeouts, round-robin on ties. kOk fills `out`; kSaturated means
+  /// every eligible server is at its cap (wait for a reply/timeout);
+  /// kExhausted means no non-demoted server is left (renegotiate).
+  enum class Pick { kOk, kSaturated, kExhausted };
+  Pick pick_server(NodeId& out);
   /// Excludes a peer from serving; `byzantine` distinguishes proven
   /// misbehaviour (counted in stats) from a peer that merely lost the cut.
   void exclude(NodeId peer, bool byzantine);
+  void release_assignment(NodeId server);
 
   // catch-up
   void arm_catchup(TimeNs delay);
@@ -203,9 +235,18 @@ class StateSyncManager {
   void handle_reveal_reply(const sim::Envelope& env,
                            const RevealReplyMsg& m);
 
-  /// Encodes the serving-side blob for `cut` (applying the Byzantine
-  /// tamper mode when set) and charges the CPU model for it.
-  Bytes serving_blob(std::uint64_t cut);
+  /// Encodes bytes [begin, end) of the blob at `cut`, streamed from the
+  /// host a chunk's worth of entries at a time — the whole blob is never
+  /// materialized. `tampered` applies the Byzantine wrong-manifest flip
+  /// (absolute blob byte 8) so a lying server stays self-consistent.
+  Bytes encode_blob_range(std::uint64_t cut, std::uint64_t begin,
+                          std::uint64_t end, bool tampered) const;
+  /// Chunk `index` of the blob at `cut`, through the serving LRU.
+  Bytes serve_chunk(std::uint64_t cut, std::size_t chunk_bytes,
+                    std::uint32_t index);
+  /// Chunk digests of the blob at `cut`, memoized per (cut, chunk_bytes).
+  const std::vector<crypto::Digest>& serve_manifest(std::uint64_t cut,
+                                                    std::size_t chunk_bytes);
 
   StateSyncHost* host_;
   std::size_t n_;
@@ -235,13 +276,30 @@ class StateSyncManager {
   std::size_t next_server_ = 0;
   std::size_t inflight_ = 0;
   std::size_t chunks_done_ = 0;
+  /// Requester-side accounting per peer: requests outstanding there and
+  /// consecutive timeouts (reset by any verified reply).
+  std::vector<std::uint32_t> server_inflight_;
+  std::vector<std::uint32_t> server_strikes_;
 
   std::vector<bool> demoted_;
 
-  // serving-side blob cache (a committed prefix at a fixed cut is
-  // immutable, so re-encoding per chunk request would be pure waste)
-  std::uint64_t serve_cache_cut_ = 0;
-  Bytes serve_cache_;
+  // Serving side: encoded chunks at a fixed cut are immutable, so a small
+  // LRU (stamped, linearly scanned — it holds a handful of entries) plus
+  // per-(cut, chunk_bytes) manifest digests replace the old whole-blob
+  // cache; transfer memory on a server is now a few chunks, not O(cut).
+  struct ServeChunk {
+    std::uint64_t cut = 0;
+    std::size_t chunk_bytes = 0;
+    std::uint32_t index = 0;
+    std::uint64_t stamp = 0;
+    Bytes data;
+  };
+  std::vector<ServeChunk> serve_lru_;
+  std::uint64_t serve_stamp_ = 0;
+  std::uint64_t manifest_cache_cut_ = 0;
+  std::size_t manifest_cache_chunk_bytes_ = 0;
+  std::vector<crypto::Digest> manifest_cache_;
+  std::size_t serves_inflight_ = 0;
 
   // reveal catch-up
   bool catchup_armed_ = false;

@@ -172,6 +172,33 @@ void DurableJournal::own_batch(const OwnBatchRecord& rec) {
 
 void DurableJournal::restarted() { append(WalRecordType::kRestart, {}); }
 
+std::size_t DurableJournal::read_ledger_entries(
+    std::uint64_t first, std::size_t count,
+    std::vector<core::AcceptedEntry>& out) const {
+  // Newest snapshot on disk, if any.
+  std::uint64_t newest = 0;
+  bool found = false;
+  for (const std::string& name : disk_->list()) {
+    std::uint64_t index = 0;
+    if (parse_snapshot_name(name, index) && (!found || index > newest)) {
+      newest = index;
+      found = true;
+    }
+  }
+  if (!found) return 0;
+  const std::string name = snapshot_name(newest);
+  const Bytes image = disk_->read(name);
+  if (name != validated_snapshot_) {
+    // One CRC pass per image; every later read is offset arithmetic. A
+    // rotted image serves nothing (a server would otherwise hand out
+    // garbage under its own honest manifest and get demoted as Byzantine).
+    validated_snapshot_ = name;
+    validated_ok_ = snapshot_image_valid(image);
+  }
+  if (!validated_ok_) return 0;
+  return read_snapshot_ledger_entries(image, first, count, out);
+}
+
 bool DurableJournal::snapshot_due() const {
   return committed_since_snapshot_ >= options_.snapshot_every_committed;
 }

@@ -54,6 +54,21 @@ class Journal {
   /// node should hand over a fresh one.
   virtual bool snapshot_due() const { return false; }
   virtual void write_snapshot(const Snapshot& snap) { (void)snap; }
+
+  /// Serves committed-prefix entries [first, first+count) out of the
+  /// newest durable snapshot image, appending to `out` and stopping early
+  /// where the snapshot's ledger section ends (the caller tops up the tail
+  /// from its in-memory ledger). Returns the number appended; the no-op
+  /// backend serves nothing. Lets the state-sync chunk server stream from
+  /// storage instead of re-walking the whole resident ledger per transfer.
+  virtual std::size_t read_ledger_entries(
+      std::uint64_t first, std::size_t count,
+      std::vector<core::AcceptedEntry>& out) const {
+    (void)first;
+    (void)count;
+    (void)out;
+    return 0;
+  }
 };
 
 struct DurableJournalStats {
@@ -99,6 +114,10 @@ class DurableJournal final : public Journal {
   /// earlier incarnation ever published (see LyraNode::restore).
   void restarted() override;
 
+  std::size_t read_ledger_entries(
+      std::uint64_t first, std::size_t count,
+      std::vector<core::AcceptedEntry>& out) const override;
+
   const DurableJournalStats& stats() const { return stats_; }
 
  private:
@@ -110,6 +129,11 @@ class DurableJournal final : public Journal {
   std::uint64_t committed_since_snapshot_ = 0;
   std::uint64_t next_snapshot_index_ = 0;
   DurableJournalStats stats_;
+  /// CRC validity of the newest snapshot image, checked once per image:
+  /// read_ledger_entries does per-chunk offset reads and must not pay a
+  /// whole-file CRC pass each time.
+  mutable std::string validated_snapshot_;
+  mutable bool validated_ok_ = false;
 };
 
 // --- WAL record payload codecs (shared with recovery) ---

@@ -1,5 +1,6 @@
 #include "storage/snapshot.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "storage/codec.hpp"
@@ -124,6 +125,67 @@ bool decode_snapshot(BytesView data, Snapshot& out) {
   if (!r.ok() || r.remaining() != 0) return false;
   out = std::move(snap);
   return true;
+}
+
+namespace {
+// Fixed strides of the v2 image (see encode_snapshot): 116-byte header,
+// u64 accepted count, 52-byte accepted entries, u64 ledger count, 89-byte
+// ledger records whose first 52 bytes are the AcceptedEntry wire form.
+constexpr std::size_t kHeaderBytes = 116;
+constexpr std::size_t kAcceptedStride = 52;
+constexpr std::size_t kLedgerStride = 89;
+
+std::uint64_t read_u64_at(BytesView data, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(data[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+}  // namespace
+
+std::size_t read_snapshot_ledger_entries(
+    BytesView data, std::uint64_t first, std::size_t count,
+    std::vector<core::AcceptedEntry>& out) {
+  if (data.size() < kHeaderBytes + 8 + 4) return 0;
+  ByteReader header(data);
+  if (header.u32() != kMagic || header.u32() != kVersion) return 0;
+  const std::size_t body = data.size() - 4;  // trailing CRC excluded
+  const std::uint64_t accepted_count = read_u64_at(data, kHeaderBytes);
+  // Divide-style bounds: a corrupt count cannot wrap the product.
+  if (accepted_count > (body - kHeaderBytes - 8) / kAcceptedStride) return 0;
+  const std::size_t ledger_count_off =
+      kHeaderBytes + 8 + static_cast<std::size_t>(accepted_count) * kAcceptedStride;
+  if (ledger_count_off + 8 > body) return 0;
+  const std::uint64_t ledger_count = read_u64_at(data, ledger_count_off);
+  const std::size_t ledger_off = ledger_count_off + 8;
+  if (ledger_count > (body - ledger_off) / kLedgerStride) return 0;
+  if (first >= ledger_count) return 0;
+  const std::size_t take = static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, ledger_count - first));
+  for (std::size_t i = 0; i < take; ++i) {
+    ByteReader r(data.subspan(
+        ledger_off + static_cast<std::size_t>(first + i) * kLedgerStride,
+        kAcceptedStride));
+    core::AcceptedEntry e;
+    e.cipher_id = r.digest();
+    e.seq = r.i64();
+    e.inst = r.instance();
+    out.push_back(e);
+  }
+  return take;
+}
+
+bool snapshot_image_valid(BytesView data) {
+  if (data.size() < 12) return false;
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(data[data.size() - 4]) |
+      (static_cast<std::uint32_t>(data[data.size() - 3]) << 8) |
+      (static_cast<std::uint32_t>(data[data.size() - 2]) << 16) |
+      (static_cast<std::uint32_t>(data[data.size() - 1]) << 24);
+  if (stored_crc != crc32(data.subspan(0, data.size() - 4))) return false;
+  ByteReader r(data);
+  return r.u32() == kMagic && r.u32() == kVersion;
 }
 
 std::string snapshot_name(std::uint64_t index) {

@@ -51,13 +51,42 @@ std::vector<WorkloadTx> FeePriorityMempool::take(std::size_t max_txs) {
     auto top = order_.begin();
     auto it = by_id_.find(top->id);
     out.push_back(it->second);
+    // NOT erased from seen_: the tx is in flight toward the ledger, so
+    // retries racing the commit notify must dedup here. The stash lets
+    // reinstate() undo that suppression if the batch is later dropped.
+    carved_.emplace(it->first, it->second);
     order_.erase(top);
     by_id_.erase(it);
-    // Deliberately NOT erased from seen_: the tx is in flight toward the
-    // ledger, so retries racing the commit notify must dedup here.
   }
   stats_.carved += out.size();
   return out;
+}
+
+void FeePriorityMempool::confirm(const std::vector<std::uint64_t>& ids) {
+  // seen_ keeps committed ids forever; only the reinstate stash drains.
+  for (std::uint64_t id : ids) carved_.erase(id);
+}
+
+std::vector<WorkloadTx> FeePriorityMempool::reinstate(
+    const std::vector<std::uint64_t>& ids) {
+  std::vector<WorkloadTx> refused;
+  for (std::uint64_t id : ids) {
+    auto it = carved_.find(id);
+    if (it == carved_.end()) continue;
+    WorkloadTx tx = it->second;
+    carved_.erase(it);
+    seen_.erase(id);  // no longer in flight: the id must be admissible
+    ++stats_.reinstated;
+    Admission result = admit(tx);
+    if (result.outcome == Outcome::kAdmitted) {
+      --stats_.admitted;  // re-entry, not a new arrival
+    }
+    for (WorkloadTx& victim : result.evicted) {
+      refused.push_back(std::move(victim));
+    }
+    if (result.outcome != Outcome::kAdmitted) refused.push_back(std::move(tx));
+  }
+  return refused;
 }
 
 std::vector<WorkloadTx> FeePriorityMempool::set_capacity(

@@ -17,6 +17,7 @@ struct MempoolStats {
   std::uint64_t evicted = 0;        // resident pushed out by a higher bid
   std::uint64_t duplicates = 0;     // resubmission of a known tx, dropped
   std::uint64_t carved = 0;         // handed to batch formation
+  std::uint64_t reinstated = 0;     // returned from a dropped batch
 };
 
 /// Admission interface in front of batch formation. Both LyraNode and
@@ -43,8 +44,30 @@ class Mempool {
   /// Removes and returns up to `max_txs` highest-priority transactions in
   /// carve order. Carved ids stay known, so a straggling retry of an
   /// in-flight transaction is dropped as a duplicate rather than
-  /// re-executed.
+  /// re-executed. Every carved id must later be settled exactly one way:
+  /// confirm() when its batch commits, reinstate() when its batch is
+  /// dropped.
   virtual std::vector<WorkloadTx> take(std::size_t max_txs) = 0;
+
+  /// Batch containing these carved ids committed: the ids stay known
+  /// forever (late retries keep deduping) but the carve-side bookkeeping
+  /// is released. Unknown ids are ignored.
+  virtual void confirm(const std::vector<std::uint64_t>& ids) {
+    (void)ids;
+  }
+
+  /// Batch containing these carved ids was dropped without committing
+  /// (e.g. the proposer gave up after max resubmissions): forget the ids
+  /// and re-admit the stashed transactions so they compete for the next
+  /// carve. Returns the transactions that could NOT be re-admitted
+  /// (refused or displaced under current pressure) — each is owed a
+  /// MempoolReject so its client's retry ladder takes over. Unknown ids
+  /// are ignored.
+  virtual std::vector<WorkloadTx> reinstate(
+      const std::vector<std::uint64_t>& ids) {
+    (void)ids;
+    return {};
+  }
 
   /// Shrinks or grows the bound; shrinking evicts the lowest-priority
   /// residents, which are returned (each owed a reject). Used by the fuzz
@@ -55,6 +78,14 @@ class Mempool {
   virtual bool empty() const = 0;
   virtual std::size_t capacity() const = 0;
   virtual bool knows(std::uint64_t id) const = 0;
+  /// The id is admitted and waiting for the next carve.
+  virtual bool pending(std::uint64_t id) const { return knows(id); }
+  /// The id was carved into a batch that has not been settled yet
+  /// (neither confirm()ed nor reinstate()d).
+  virtual bool in_flight(std::uint64_t id) const {
+    (void)id;
+    return false;
+  }
   virtual const MempoolStats& stats() const = 0;
 };
 
@@ -66,12 +97,21 @@ class FeePriorityMempool final : public Mempool {
 
   Admission admit(const WorkloadTx& tx) override;
   std::vector<WorkloadTx> take(std::size_t max_txs) override;
+  void confirm(const std::vector<std::uint64_t>& ids) override;
+  std::vector<WorkloadTx> reinstate(
+      const std::vector<std::uint64_t>& ids) override;
   std::vector<WorkloadTx> set_capacity(std::size_t capacity) override;
 
   std::size_t size() const override { return by_id_.size(); }
   bool empty() const override { return by_id_.empty(); }
   std::size_t capacity() const override { return capacity_; }
   bool knows(std::uint64_t id) const override { return seen_.count(id) != 0; }
+  bool pending(std::uint64_t id) const override {
+    return by_id_.count(id) != 0;
+  }
+  bool in_flight(std::uint64_t id) const override {
+    return carved_.count(id) != 0;
+  }
   const MempoolStats& stats() const override { return stats_; }
 
  private:
@@ -89,9 +129,13 @@ class FeePriorityMempool final : public Mempool {
   std::size_t capacity_;
   std::set<Key> order_;
   std::map<std::uint64_t, WorkloadTx> by_id_;
-  // Pending plus carved ids. Evicted/rejected ids are NOT kept here: their
-  // clients retry, and the retry must be admissible.
+  // Pending, carved-in-flight, and committed ids. Evicted/rejected ids are
+  // NOT kept here: their clients retry, and the retry must be admissible.
+  // Carved ids leave again via reinstate() if their batch is dropped, so a
+  // never-committed tx is never deduplicated into oblivion.
   std::unordered_set<std::uint64_t> seen_;
+  // Carved transactions awaiting confirm()/reinstate(), keyed by id.
+  std::map<std::uint64_t, WorkloadTx> carved_;
   MempoolStats stats_;
 };
 

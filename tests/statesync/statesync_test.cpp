@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/lyra_cluster.hpp"
+#include "statesync/chunking.hpp"
 
 namespace lyra {
 namespace {
@@ -315,6 +316,124 @@ TEST(StateSync, WrongManifestMinorityIsOutvoted) {
     EXPECT_EQ(synced[i], honest[i]) << "slot " << i;
   }
   EXPECT_TRUE(cluster.ledgers_prefix_consistent());
+}
+
+/// Big-n recovery: one scenario run at a chosen thread count, returning
+/// everything the equivalence check below compares. n = 300 exceeds the
+/// GF(256) share space, so the ordering core runs with obfuscation off —
+/// exactly how the fig5 scaling sweep deploys it.
+struct BigClusterSyncResult {
+  IdLedger synced;
+  IdLedger peer;
+  statesync::StateSyncStats stats;
+  harness::RestartOutcome outcome = harness::RestartOutcome::kNone;
+};
+
+BigClusterSyncResult run_big_cluster_delta_sync(unsigned threads) {
+  constexpr std::size_t kN = 300;
+  harness::LyraClusterOptions opts;
+  opts.config.n = kN;
+  opts.config.f = 99;
+  opts.config.obfuscate = false;  // 2f+1 = 199 shares would not fit GF(256)
+  opts.config.delta = ms(2);
+  opts.config.lambda = ms(1);
+  opts.config.batch_size = 2;
+  opts.config.batch_timeout = ms(5);
+  // Heartbeats and probes are O(n) broadcasts per node; stretch them so
+  // the n^2 idle traffic stays affordable at 300 nodes.
+  opts.config.heartbeat_period = ms(20);
+  opts.config.probe_period = ms(50);
+  opts.config.commit_poll = ms(1);
+  opts.config.clock_offset_spread = us(200);
+  opts.topology = net::single_region(kN);
+  opts.seed = 17;
+  opts.threads = threads;
+  opts.durable_storage = true;
+  // Snapshots every 8 commits: at crash time the newest snapshot covers
+  // all but the last couple of committed batches, so a delta transfer
+  // only has to move the tail.
+  opts.journal.snapshot_every_committed = 8;
+  opts.state_sync = true;
+  opts.statesync_config.delta_transfer = true;
+  opts.statesync_config.chunk_bytes = 64;
+
+  harness::LyraCluster cluster(std::move(opts));
+  cluster.start();
+  cluster.run_for(ms(50));
+  // 18 batches from three proposers; every node journals all of them.
+  for (NodeId p = 0; p < 3; ++p) {
+    for (int i = 0; i < 12; ++i) {
+      cluster.node(p).submit_local(
+          to_bytes("big-" + std::to_string(p) + "-" + std::to_string(i)));
+    }
+  }
+  EXPECT_TRUE(run_until(cluster, ms(2000), [&] {
+    return cluster.min_ledger_length() >= 18;
+  }));
+
+  cluster.crash_node(7);
+  cluster.run_for(ms(20));
+  cluster.corrupt_wal(7);  // WAL gone; journaled snapshots still decode
+
+  // Two more batches commit while node 7 is down, so the negotiated cut
+  // sits past anything its disk holds — the transfer must move a real
+  // suffix (and ONLY that suffix; the prefix is synthesized from the
+  // journaled snapshot).
+  for (int i = 0; i < 4; ++i) {
+    cluster.node(0).submit_local(to_bytes("late-" + std::to_string(i)));
+  }
+  EXPECT_TRUE(run_until(cluster, ms(2500), [&] {
+    return cluster.min_ledger_length() >= 20;
+  }));
+
+  BigClusterSyncResult out;
+  EXPECT_TRUE(cluster.restart_node(7));
+  out.outcome = cluster.recovery_info(7).outcome;
+  EXPECT_TRUE(run_until(cluster, ms(4000), [&] {
+    return cluster.node(7).ledger().size() >= 20;
+  }));
+  out.synced = ledger_ids(cluster.node(7));
+  out.peer = ledger_ids(cluster.node(0));
+  out.stats = cluster.node(7).statesync()->stats();
+  return out;
+}
+
+TEST(StateSync, BigClusterDeltaSyncMovesOnlySuffix) {
+  const BigClusterSyncResult r = run_big_cluster_delta_sync(/*threads=*/1);
+  ASSERT_EQ(r.outcome, harness::RestartOutcome::kDeltaSync);
+  ASSERT_GE(r.synced.size(), 20u);
+  for (std::size_t i = 0; i < std::min(r.peer.size(), r.synced.size()); ++i) {
+    EXPECT_EQ(r.synced[i], r.peer[i]) << "slot " << i;
+  }
+
+  // The snapshot prefix was synthesized locally; only the post-snapshot
+  // suffix crossed the wire. "Memory-flat" scaling depends on this: a
+  // full transfer at n = 300 would move the entire blob.
+  const std::uint64_t full =
+      statesync::sync_prefix_bytes(static_cast<std::uint64_t>(r.synced.size()));
+  EXPECT_GT(r.stats.bytes_transferred, 0u);
+  EXPECT_LT(r.stats.bytes_transferred * 4, full)
+      << "delta transfer moved >=25% of the full snapshot blob";
+  EXPECT_GT(r.stats.chunks_local, 0u);
+  EXPECT_GT(r.stats.bytes_local, r.stats.bytes_transferred);
+  EXPECT_EQ(r.stats.syncs_completed, 1u);
+  EXPECT_GE(r.stats.entries_installed, 20u);
+}
+
+TEST(StateSync, BigClusterDeltaSyncSerialParallelEquivalent) {
+  // The n=300 recovery scenario must be bit-identical under the parallel
+  // executor: same recovery outcome, same synced ledger, same transfer
+  // accounting.
+  const BigClusterSyncResult serial = run_big_cluster_delta_sync(1);
+  const BigClusterSyncResult parallel = run_big_cluster_delta_sync(2);
+  EXPECT_EQ(serial.outcome, parallel.outcome);
+  ASSERT_EQ(serial.synced.size(), parallel.synced.size());
+  for (std::size_t i = 0; i < serial.synced.size(); ++i) {
+    EXPECT_EQ(serial.synced[i], parallel.synced[i]) << "slot " << i;
+  }
+  EXPECT_EQ(serial.stats.bytes_transferred, parallel.stats.bytes_transferred);
+  EXPECT_EQ(serial.stats.chunks_local, parallel.stats.chunks_local);
+  EXPECT_EQ(serial.stats.chunks_fetched, parallel.stats.chunks_fetched);
 }
 
 TEST(StateSync, RestartedProposerReplaysCommitNotifications) {

@@ -200,6 +200,83 @@ TEST(FeePriorityMempool, DuplicatesDropSilentlyEvenAfterCarve) {
   EXPECT_EQ(pool.stats().duplicates, 2u);
 }
 
+TEST(FeePriorityMempool, ConfirmKeepsCommittedIdsDeduplicated) {
+  FeePriorityMempool pool(4);
+  pool.admit(make_tx(1, 10));
+  const auto carved = pool.take(4);
+  ASSERT_EQ(carved.size(), 1u);
+  EXPECT_TRUE(pool.in_flight(1));
+  pool.confirm({1});
+  // Committed: the id stays suppressed forever, but the carve stash is
+  // released.
+  EXPECT_FALSE(pool.in_flight(1));
+  EXPECT_TRUE(pool.knows(1));
+  EXPECT_EQ(pool.admit(make_tx(1, 10)).outcome, Mempool::Outcome::kDuplicate);
+  EXPECT_EQ(pool.stats().reinstated, 0u);
+}
+
+TEST(FeePriorityMempool, ReinstateReturnsDroppedTxsToContention) {
+  // Regression for the carved-batch retention liveness bug: a dropped
+  // (never-committed) batch used to leave its ids in seen_ forever, so
+  // every client retry was swallowed as a duplicate and the tx could
+  // never commit. reinstate() must put the txs back in the pool.
+  FeePriorityMempool pool(4);
+  pool.admit(make_tx(1, 10));
+  pool.admit(make_tx(2, 20));
+  const auto carved = pool.take(4);
+  ASSERT_EQ(carved.size(), 2u);
+  EXPECT_TRUE(pool.empty());
+  const auto refused = pool.reinstate({1, 2});
+  EXPECT_TRUE(refused.empty());
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.pending(1));
+  EXPECT_TRUE(pool.pending(2));
+  EXPECT_FALSE(pool.in_flight(1));
+  EXPECT_EQ(pool.stats().reinstated, 2u);
+  // Re-entry, not a fresh arrival: admitted counts each tx once.
+  EXPECT_EQ(pool.stats().admitted, 2u);
+  // The reinstated txs carve again and can settle normally this time.
+  const auto again = pool.take(4);
+  ASSERT_EQ(again.size(), 2u);
+  pool.confirm({1, 2});
+  EXPECT_EQ(pool.admit(make_tx(1, 10)).outcome, Mempool::Outcome::kDuplicate);
+}
+
+TEST(FeePriorityMempool, ReinstateRefusalsSurfaceForRejectSignals) {
+  FeePriorityMempool pool(2);
+  pool.admit(make_tx(1, 50));
+  pool.admit(make_tx(2, 40));
+  const auto carved = pool.take(2);
+  ASSERT_EQ(carved.size(), 2u);
+  // While the batch is in flight the pool refills with higher bids.
+  pool.admit(make_tx(3, 100));
+  pool.admit(make_tx(4, 90));
+  // The dropped batch's txs can no longer win a slot: both come back
+  // refused, each owed a MempoolReject so the client's retry ladder (and
+  // eventually its terminal reject) takes over instead of silence.
+  const auto refused = pool.reinstate({1, 2});
+  ASSERT_EQ(refused.size(), 2u);
+  EXPECT_EQ(refused[0].id, 1u);
+  EXPECT_EQ(refused[1].id, 2u);
+  EXPECT_FALSE(pool.knows(1));
+  EXPECT_FALSE(pool.knows(2));
+  // Refused means admissible later: a retry gets in once pressure drops.
+  pool.take(2);
+  EXPECT_EQ(pool.admit(make_tx(1, 50)).outcome, Mempool::Outcome::kAdmitted);
+}
+
+TEST(FeePriorityMempool, ReinstateIgnoresUnknownAndConfirmedIds) {
+  FeePriorityMempool pool(4);
+  pool.admit(make_tx(1, 10));
+  pool.take(4);
+  pool.confirm({1});
+  // Already confirmed or never carved: nothing to reinstate, dedup holds.
+  EXPECT_TRUE(pool.reinstate({1, 99}).empty());
+  EXPECT_EQ(pool.stats().reinstated, 0u);
+  EXPECT_TRUE(pool.knows(1));
+  EXPECT_TRUE(pool.empty());
+}
+
 TEST(FeePriorityMempool, TakeReturnsFeeDescendingIdAscending) {
   FeePriorityMempool pool(8);
   pool.admit(make_tx(4, 10));
@@ -383,6 +460,67 @@ TEST(OpenLoopEndToEnd, EveryTransactionResolvesAndLedgersCarryBatches) {
     }
     EXPECT_GT(decoded_txs, 0u);
   }
+}
+
+/// Correct-but-hostile peer whose validation-function rejects every INIT
+/// from node 0 until `until`: peers flood 0-votes, node 0's carved
+/// batches decide 0 and walk the resubmission ladder into the drop path —
+/// the same "batch carved, then thrown away pre-commit" shape a leader
+/// crash produces.
+class RejectProposerLyraNode final : public core::LyraNode {
+ public:
+  RejectProposerLyraNode(sim::Simulation* sim, net::Network* net, NodeId id,
+                         const core::Config& cfg,
+                         const crypto::KeyRegistry* reg, TimeNs until)
+      : core::LyraNode(sim, net, id, cfg, reg), until_(until) {}
+
+ protected:
+  bool validate_init(const core::InitMsg& m, SeqNum perceived,
+                     SeqNum requested) const override {
+    if (m.inst.proposer == 0 && now() < until_) return false;
+    return core::LyraNode::validate_init(m, perceived, requested);
+  }
+
+ private:
+  TimeNs until_;
+};
+
+TEST(OpenLoopEndToEnd, DroppedCarvedBatchReinstatesAndResolves) {
+  // Regression for the carved-batch retention liveness bug: a dropped
+  // (never-committed) batch used to leave its tx ids duplicate-suppressed
+  // in the mempool forever, so the transactions could neither commit nor
+  // terminally reject — the client waited for eternity. With the
+  // reinstate path, every tx carved into a dropped batch re-enters the
+  // pool and commits once the cluster heals.
+  const TimeNs heal_at = ms(260);
+  auto opts = open_loop_cluster(7);
+  opts.config.max_batch_resubmissions = 1;  // reach the drop path quickly
+  opts.node_factory = [&](sim::Simulation* sim, net::Network* net, NodeId id,
+                          const core::Config& cfg,
+                          const crypto::KeyRegistry* reg)
+      -> std::unique_ptr<core::LyraNode> {
+    if (id == 0) {
+      return std::make_unique<core::LyraNode>(sim, net, id, cfg, reg);
+    }
+    return std::make_unique<RejectProposerLyraNode>(sim, net, id, cfg, reg,
+                                                    heal_at);
+  };
+  harness::LyraCluster cluster(std::move(opts));
+  OpenLoopOptions o = fast_open_loop();
+  o.stop_at = ms(200);  // every arrival lands while node 0 is quarantined
+  cluster.add_open_loop_pool(0, o, /*run_seed=*/7);
+  cluster.start();
+  cluster.run_for(ms(1500));
+
+  const auto& node0 = cluster.node(0);
+  ASSERT_GT(node0.stats().dropped_batches, 0u)
+      << "scenario failed to drop a carved batch";
+  EXPECT_GT(node0.mempool()->stats().reinstated, 0u);
+  const auto& pool = *cluster.open_pools().front();
+  EXPECT_EQ(pool.unresolved(), 0u);
+  EXPECT_GT(pool.stats().committed_total, 0u);
+  EXPECT_EQ(pool.stats().committed_total + pool.stats().terminal_rejects,
+            pool.stats().offered);
 }
 
 TEST(OpenLoopEndToEnd, SameSeedSameOutcome) {

@@ -32,6 +32,11 @@ void usage() {
       "  --duration-ms=T           simulated run length (default 6000)\n"
       "  --measure-from-ms=T       measurement window start (default 2500)\n"
       "  --batch=B                 transactions per batch (default 800)\n"
+      "  --batch-timeout=T         propose a partial batch after T "
+      "(default 50ms)\n"
+      "  --heartbeat-ms=T          status-heartbeat period (default 25ms;\n"
+      "                            idle traffic is n^2/period — stretch it\n"
+      "                            on big clusters)\n"
       "  --lambda-ms=L             validation window lambda (default 5)\n"
       "  --outstanding=K           Lyra proposal pipeline depth (default 3)\n"
       "  --silent=S                crash-faulty Lyra nodes (default 0)\n"
@@ -54,6 +59,19 @@ void usage() {
       "                            it is down (rejoins via state transfer)\n"
       "  --state-sync              enable the statesync subsystem on every\n"
       "                            node (implied by the two flags above)\n"
+      "  --delta-sync              delta state transfer: a rejoining node\n"
+      "                            with a decodable snapshot keeps its local\n"
+      "                            prefix and pulls only the missing suffix\n"
+      "                            (implies --state-sync)\n"
+      "  --client-shard=K          aggregate closed-loop clients: one pool\n"
+      "                            process drives up to K same-region nodes\n"
+      "                            (0 = one pool per node; makes n=300-1000\n"
+      "                            sweeps affordable)\n"
+      "  --client-nodes=K          attach clients to nodes 0..K-1 only\n"
+      "                            (0 = every node; each client-bearing\n"
+      "                            node proposes, and every instance costs\n"
+      "                            O(n^2) consensus traffic — cap the\n"
+      "                            proposer set on big-cluster sweeps)\n"
       "  --stats                   print parallel-executor hot-path counters\n"
       "                            (batches, locks/notifies per event, RNG\n"
       "                            gate, scheduler idle time)\n"
@@ -154,8 +172,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
         return 2;
       }
+    } else if (parse_value(argc, argv, i, "--batch-timeout", value)) {
+      if (!parse_duration(value, config.batch_timeout)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
     } else if (parse_value(argc, argv, i, "--batch", value)) {
       config.batch_size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--heartbeat-ms", value)) {
+      if (!parse_duration(value, config.heartbeat)) {
+        std::fprintf(stderr, "bad duration '%s'\n", value.c_str());
+        return 2;
+      }
     } else if (parse_value(argc, argv, i, "--lambda-ms", value)) {
       config.lambda = ms(std::strtod(value.c_str(), nullptr));
     } else if (parse_value(argc, argv, i, "--outstanding", value)) {
@@ -262,6 +290,12 @@ int main(int argc, char** argv) {
       config.workload.open_loop = true;
     } else if (std::strcmp(argv[i], "--state-sync") == 0) {
       config.state_sync = true;
+    } else if (std::strcmp(argv[i], "--delta-sync") == 0) {
+      config.delta_sync = true;
+    } else if (parse_value(argc, argv, i, "--client-shard", value)) {
+      config.client_shard = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(argc, argv, i, "--client-nodes", value)) {
+      config.client_nodes = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
     } else if (std::strcmp(argv[i], "--memoize-verify") == 0) {
@@ -280,6 +314,14 @@ int main(int argc, char** argv) {
 
   if (config.n <= 3 * config.f()) {
     std::fprintf(stderr, "need n > 3f\n");
+    return 2;
+  }
+  if (config.protocol == RunConfig::Protocol::kLyra && config.obfuscate &&
+      config.n > 255) {
+    std::fprintf(stderr,
+                 "commit-reveal VSS shares live in GF(256), capping "
+                 "obfuscated deployments at n = 255; pass --no-obfuscation "
+                 "to run the ordering core at this scale\n");
     return 2;
   }
   if (config.measure_from >= config.duration) {
@@ -376,11 +418,19 @@ int main(int argc, char** argv) {
     if (config.wants_state_sync()) {
       std::printf("full state syncs  %10llu\n",
                   static_cast<unsigned long long>(result.full_state_syncs));
-      std::printf("sync chunks       %10llu (%llu rejected)\n",
+      if (config.delta_sync) {
+        std::printf("delta state syncs %10llu\n",
+                    static_cast<unsigned long long>(result.delta_state_syncs));
+      }
+      std::printf("sync chunks       %10llu (%llu rejected, %llu local)\n",
                   static_cast<unsigned long long>(result.sync_chunks_fetched),
-                  static_cast<unsigned long long>(result.sync_chunks_rejected));
-      std::printf("sync bytes        %10llu\n",
-                  static_cast<unsigned long long>(result.sync_bytes_transferred));
+                  static_cast<unsigned long long>(result.sync_chunks_rejected),
+                  static_cast<unsigned long long>(result.sync_chunks_local));
+      std::printf("sync bytes        %10llu (%llu saved locally)\n",
+                  static_cast<unsigned long long>(result.sync_bytes_transferred),
+                  static_cast<unsigned long long>(result.sync_bytes_local));
+      std::printf("serves shed       %10llu\n",
+                  static_cast<unsigned long long>(result.sync_serves_shed));
       std::printf("sync entries      %10llu\n",
                   static_cast<unsigned long long>(result.sync_entries_installed));
       std::printf("catch-up reveals  %10llu\n",
